@@ -1,0 +1,53 @@
+//! The determinism cost pipeline (Figures 7 and 8): kernel selection and
+//! workload profiling over the full ten-network suite.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hwsim::{profile_workload, select_conv_kernels, Device, ExecutionMode};
+use nnet::arch;
+use nstensor::ConvGeometry;
+
+fn bench_cost_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cost_model");
+    group.bench_function("autotune_one_conv", |b| {
+        let geom = ConvGeometry::new(64, 128, 3, 1, 1, 56, 56);
+        b.iter(|| {
+            std::hint::black_box(select_conv_kernels(
+                &geom,
+                64,
+                &Device::v100(),
+                ExecutionMode::Default,
+            ))
+        });
+    });
+    for name in ["resnet50", "vgg19", "mobilenet_v2"] {
+        group.bench_with_input(
+            BenchmarkId::new("profile_100_steps", name),
+            &name,
+            |b, name| {
+                let desc = match *name {
+                    "resnet50" => arch::resnet50(64),
+                    "vgg19" => arch::vgg19(64),
+                    _ => arch::mobilenet_v2(64),
+                };
+                b.iter(|| {
+                    std::hint::black_box(profile_workload(
+                        &desc.ops,
+                        &Device::p100(),
+                        ExecutionMode::Deterministic,
+                        100,
+                    ))
+                });
+            },
+        );
+    }
+    group.bench_function("fig8a_full_sweep", |b| {
+        b.iter(|| std::hint::black_box(noisescope::experiments::cost::fig8a(64)));
+    });
+    group.bench_function("fig8b_full_sweep", |b| {
+        b.iter(|| std::hint::black_box(noisescope::experiments::cost::fig8b(64)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cost_model);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Microbenchmarks of the order-sensitive reduction engine — the substrate
+//! hot path under every figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nstensor::{ReduceOrder, Reducer};
+
+fn bench_reductions(c: &mut Criterion) {
+    let xs: Vec<f32> = (0..8192).map(|i| ((i * 37 % 101) as f32 - 50.0) * 0.01).collect();
+    let mut group = c.benchmark_group("reduction_sum_8k");
+    group.throughput(Throughput::Elements(xs.len() as u64));
+    for (name, order) in [
+        ("sequential", ReduceOrder::Sequential),
+        ("fixed_tree", ReduceOrder::FixedTree),
+        ("permuted", ReduceOrder::Permuted),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &order, |b, &order| {
+            let mut r = Reducer::new(order, 48, 7);
+            b.iter(|| std::hint::black_box(r.sum(&xs)));
+        });
+    }
+    group.finish();
+
+    let a: Vec<f32> = (0..1024).map(|i| (i as f32).sin()).collect();
+    let bb: Vec<f32> = (0..1024).map(|i| (i as f32).cos()).collect();
+    let mut group = c.benchmark_group("reduction_dot_1k");
+    group.throughput(Throughput::Elements(a.len() as u64));
+    for (name, order) in [
+        ("sequential", ReduceOrder::Sequential),
+        ("fixed_tree", ReduceOrder::FixedTree),
+        ("permuted", ReduceOrder::Permuted),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &order, |b, &order| {
+            let mut r = Reducer::new(order, 48, 7);
+            b.iter(|| std::hint::black_box(r.dot(&a, &bb)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reductions);
+criterion_main!(benches);

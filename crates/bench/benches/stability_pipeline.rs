@@ -1,0 +1,45 @@
+//! End-to-end stability pipeline at microbenchmark scale: a replica train
+//! plus fleet metrics (the computation behind Table 2 and Figures 1-5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noisescope::prelude::*;
+use ns_bench::{micro_settings, micro_task};
+use nsmetrics::{pairwise_mean_churn, pairwise_mean_l2};
+
+fn bench_stability(c: &mut Criterion) {
+    let prepared = PreparedTask::prepare(&micro_task());
+    let settings = micro_settings();
+    let mut group = c.benchmark_group("stability_pipeline");
+    group.sample_size(10);
+    group.bench_function("replica_train_micro", |b| {
+        let mut replica = 0u32;
+        b.iter(|| {
+            replica = replica.wrapping_add(1);
+            std::hint::black_box(run_replica(
+                &prepared,
+                &Device::v100(),
+                NoiseVariant::AlgoImpl,
+                &settings,
+                replica,
+            ))
+        });
+    });
+
+    // Fleet metric computation on synthetic predictions.
+    let preds: Vec<Vec<u32>> = (0..10)
+        .map(|r| (0..2000).map(|i| ((i * 7 + r * 13) % 10) as u32).collect())
+        .collect();
+    let weights: Vec<Vec<f32>> = (0..10)
+        .map(|r| (0..20_000).map(|i| ((i + r) as f32).sin()).collect())
+        .collect();
+    group.bench_function("pairwise_churn_10x2000", |b| {
+        b.iter(|| std::hint::black_box(pairwise_mean_churn(&preds)));
+    });
+    group.bench_function("pairwise_l2_10x20000", |b| {
+        b.iter(|| std::hint::black_box(pairwise_mean_l2(&weights)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stability);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! One training step of each zoo model under deterministic vs
+//! nondeterministic execution — the microbenchmark behind Figures 1/2/5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use detrand::Philox;
+use hwsim::{Device, ExecutionContext, ExecutionMode};
+use nnet::loss::softmax_cross_entropy;
+use nnet::zoo;
+use nstensor::{Shape, Tensor};
+
+fn bench_training_step(c: &mut Criterion) {
+    let root = Philox::from_seed(7);
+    let mut group = c.benchmark_group("train_step_batch16");
+    group.sample_size(20);
+    for (name, mode) in [
+        ("small_cnn/default", ExecutionMode::Default),
+        ("small_cnn/deterministic", ExecutionMode::Deterministic),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &mode| {
+            let mut net = zoo::small_cnn(12, 3, 10, false, &root);
+            let mut exec = ExecutionContext::new(Device::v100(), mode, 3);
+            let x = Tensor::full(Shape::of(&[16, 3, 12, 12]), 0.1);
+            let labels: Vec<u32> = (0..16).map(|i| (i % 10) as u32).collect();
+            let mut step = 0u64;
+            b.iter(|| {
+                let logits = net.forward(x.clone(), &mut exec, &root, step, true);
+                let (_, dl) = softmax_cross_entropy(&logits, &labels);
+                net.backward(dl, &mut exec);
+                step += 1;
+            });
+        });
+    }
+    for (name, mode) in [
+        ("micro_resnet18/default", ExecutionMode::Default),
+        ("micro_resnet18/deterministic", ExecutionMode::Deterministic),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &mode| {
+            let mut net = zoo::micro_resnet18(8, 3, 10, &root);
+            let mut exec = ExecutionContext::new(Device::v100(), mode, 3);
+            let x = Tensor::full(Shape::of(&[16, 3, 8, 8]), 0.1);
+            let labels: Vec<u32> = (0..16).map(|i| (i % 10) as u32).collect();
+            let mut step = 0u64;
+            b.iter(|| {
+                let logits = net.forward(x.clone(), &mut exec, &root, step, true);
+                let (_, dl) = softmax_cross_entropy(&logits, &labels);
+                net.backward(dl, &mut exec);
+                step += 1;
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training_step);
+criterion_main!(benches);

@@ -1,0 +1,259 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [--exp <id>]... [--out <dir>]
+//!
+//!   ids: table2 table3 table5 fig1 fig2 fig4 fig5 fig6 fig7 fig8a fig8b
+//!        fig9 fig10 cost stability all (default: all)
+//! ```
+//!
+//! Environment knobs (see `noisescope::settings`): `NS_REPLICAS`,
+//! `NS_SEED`, `NS_AMP_ULPS`, `NS_EPOCHS_SCALE`, `NS_QUICK=1`.
+//!
+//! Rendered tables go to stdout; machine-readable JSON goes to `--out`
+//! (default `results/`).
+
+use noisescope::experiments::{cost, extensions, fairness, ordering, stability};
+use noisescope::paper;
+use noisescope::prelude::*;
+use std::collections::BTreeSet;
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let mut exps: BTreeSet<String> = BTreeSet::new();
+    let mut out_dir = PathBuf::from("results");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--exp" => {
+                let v = args.next().expect("--exp needs a value");
+                exps.insert(v);
+            }
+            "--out" => {
+                out_dir = PathBuf::from(args.next().expect("--out needs a value"));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "repro [--exp <id>]... [--out <dir>]\n  ids: table2 table3 table5 fig1 \
+                     fig2 fig4 fig5 fig6 fig7 fig8a fig8b fig9 fig10 ext cost stability all"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    if exps.is_empty() || exps.contains("all") {
+        for id in [
+            "table2", "table3", "table5", "fig1", "fig2", "fig4", "fig5", "fig6", "fig7",
+            "fig8a", "fig8b", "fig9", "fig10", "ext",
+        ] {
+            exps.insert(id.to_string());
+        }
+    }
+    if exps.remove("cost") {
+        for id in ["fig7", "fig8a", "fig8b"] {
+            exps.insert(id.to_string());
+        }
+    }
+    if exps.remove("stability") {
+        for id in ["table2", "fig1", "fig4", "fig9", "fig10"] {
+            exps.insert(id.to_string());
+        }
+    }
+
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    let settings = ExperimentSettings::from_env();
+    println!(
+        "# NoiseScope reproduction — replicas={} amp_ulps={} epochs_scale={} seed={}\n",
+        settings.replicas, settings.amp_ulps, settings.epochs_scale, settings.base_seed
+    );
+    let save = |name: &str, json: &serde_json::Value| {
+        let path = out_dir.join(format!("{name}.json"));
+        let mut f = std::fs::File::create(&path).expect("create result file");
+        f.write_all(serde_json::to_string_pretty(json).unwrap().as_bytes())
+            .expect("write result file");
+        eprintln!("  wrote {}", path.display());
+    };
+    let t0 = Instant::now();
+
+    // ---- fast cost-model experiments first ----
+    if exps.contains("fig7") {
+        let started = Instant::now();
+        let fig = cost::fig7(100);
+        println!("{}", cost::render_fig7(&fig));
+        save("fig7", &serde_json::to_value(&fig).unwrap());
+        eprintln!("fig7 done in {:.1}s", started.elapsed().as_secs_f32());
+    }
+    if exps.contains("fig8a") {
+        let started = Instant::now();
+        let pts = cost::fig8a(64);
+        println!(
+            "{}",
+            cost::render_overheads(
+                "Figure 8 (left): deterministic overhead across ten networks (batch 64)",
+                &pts
+            )
+        );
+        save("fig8a", &serde_json::to_value(&pts).unwrap());
+        eprintln!("fig8a done in {:.1}s", started.elapsed().as_secs_f32());
+    }
+    if exps.contains("fig8b") {
+        let started = Instant::now();
+        let pts = cost::fig8b(64);
+        println!(
+            "{}",
+            cost::render_overheads(
+                "Figure 8 (right): deterministic overhead vs convolution filter size",
+                &pts
+            )
+        );
+        println!(
+            "{}",
+            paper::compare::render(
+                "Figure 8 (right) paper-vs-measured: filter-sweep extremes",
+                &paper::compare::fig8b(&pts)
+            )
+        );
+        save("fig8b", &serde_json::to_value(&pts).unwrap());
+        eprintln!("fig8b done in {:.1}s", started.elapsed().as_secs_f32());
+    }
+    if exps.contains("table3") {
+        let counts = fairness::table3();
+        println!("{}", fairness::render_table3(&counts));
+        save("table3", &serde_json::to_value(counts).unwrap());
+    }
+
+    // ---- training experiments ----
+    if exps.contains("fig6") {
+        let started = Instant::now();
+        let pts = ordering::fig6(&settings);
+        println!("{}", ordering::render_fig6(&pts));
+        save("fig6", &serde_json::to_value(&pts).unwrap());
+        eprintln!("fig6 done in {:.1}s", started.elapsed().as_secs_f32());
+    }
+    if exps.contains("fig2") {
+        let started = Instant::now();
+        let grid = stability::fig2(&settings);
+        println!(
+            "{}",
+            stability::render_fig_panel(&grid, "V100", "Figure 2 (batch-norm ablation)")
+        );
+        save("fig2", &serde_json::to_value(&grid).unwrap());
+        eprintln!("fig2 done in {:.1}s", started.elapsed().as_secs_f32());
+    }
+    if exps.contains("table5") {
+        let started = Instant::now();
+        let tables = fairness::fig3_table5(&settings);
+        println!("{}", fairness::render_table5(&tables));
+        save("table5", &serde_json::to_value(&tables).unwrap());
+        eprintln!("table5/fig3 done in {:.1}s", started.elapsed().as_secs_f32());
+    }
+    if exps.contains("fig5") {
+        let started = Instant::now();
+        let grid = stability::fig5(&settings);
+        let mut rows = Vec::new();
+        for r in &grid.reports {
+            rows.push(vec![
+                r.device.clone(),
+                r.variant.label().to_string(),
+                format!("{:.3}", 100.0 * r.std_accuracy),
+                format!("{:.4}", r.churn),
+                format!("{:.4}", r.l2),
+            ]);
+        }
+        println!(
+            "{}",
+            noisescope::report::render_table(
+                "Figure 5: ResNet18/CIFAR-100-sim across accelerators",
+                &["Accelerator", "Variant", "stddev(acc) %", "churn", "l2"],
+                &rows
+            )
+        );
+        save("fig5", &serde_json::to_value(&grid).unwrap());
+        eprintln!("fig5 done in {:.1}s", started.elapsed().as_secs_f32());
+    }
+
+    if exps.contains("ext") {
+        let started = Instant::now();
+        let dp = extensions::data_parallel_sweep(&settings);
+        println!("{}", extensions::render_data_parallel(&dp));
+        save("ext_data_parallel", &serde_json::to_value(&dp).unwrap());
+        let lanes = extensions::lanes_sweep(&settings);
+        println!("{}", extensions::render_lanes(&lanes));
+        save("ext_lanes", &serde_json::to_value(&lanes).unwrap());
+        let arch = extensions::architecture_instability(&settings);
+        println!("{}", extensions::render_architecture_instability(&arch));
+        save("ext_architectures", &serde_json::to_value(&arch).unwrap());
+        let sources = extensions::algo_source_decomposition(&settings);
+        println!("{}", extensions::render_algo_sources(&sources));
+        save("ext_algo_sources", &serde_json::to_value(&sources).unwrap());
+        eprintln!("extensions done in {:.1}s", started.elapsed().as_secs_f32());
+    }
+
+    // The Table-2 grid also powers Figures 1, 4, 9 and 10.
+    let needs_grid = ["table2", "fig1", "fig4", "fig9", "fig10"]
+        .iter()
+        .any(|e| exps.contains(*e));
+    if needs_grid {
+        let started = Instant::now();
+        let grid = stability::run_table2_grid(&settings);
+        eprintln!(
+            "stability grid done in {:.1}s",
+            started.elapsed().as_secs_f32()
+        );
+        if exps.contains("table2") {
+            println!("{}", stability::render_table2(&grid));
+            println!(
+                "{}",
+                paper::compare::render(
+                    "Table 2 paper-vs-measured (mean accuracy %, task difficulty anchor)",
+                    &paper::compare::table2(&grid)
+                )
+            );
+            save("table2", &serde_json::to_value(&grid).unwrap());
+        }
+        if exps.contains("fig1") {
+            println!("{}", stability::render_fig_panel(&grid, "V100", "Figure 1"));
+        }
+        if exps.contains("fig9") {
+            println!("{}", stability::render_fig_panel(&grid, "P100", "Figure 9"));
+        }
+        if exps.contains("fig10") {
+            println!(
+                "{}",
+                stability::render_fig_panel(&grid, "RTX5000", "Figure 10")
+            );
+        }
+        if exps.contains("fig4") {
+            let series = stability::fig4_from_reports(&grid);
+            let rows: Vec<Vec<String>> = series
+                .iter()
+                .map(|s| {
+                    vec![
+                        s.task.clone(),
+                        s.variant.label().to_string(),
+                        format!("{:.4}", s.overall_std),
+                        format!("{:.4}", s.max_class_std),
+                        format!("{:.1}X", s.ratio),
+                    ]
+                })
+                .collect();
+            println!(
+                "{}",
+                noisescope::report::render_table(
+                    "Figure 4: per-class vs overall accuracy variance (V100)",
+                    &["Task", "Variant", "stddev(acc)", "max class stddev", "ratio"],
+                    &rows
+                )
+            );
+            save("fig4", &serde_json::to_value(&series).unwrap());
+        }
+    }
+
+    eprintln!("total {:.1}s", t0.elapsed().as_secs_f32());
+}

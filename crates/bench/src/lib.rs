@@ -1,0 +1,53 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! The heavy lifting lives in [`noisescope`]; this crate provides the
+//! `repro` binary (regenerates every table and figure — see
+//! `src/bin/repro.rs`) and Criterion microbenchmarks over the substrate
+//! hot paths.
+
+#![warn(missing_docs)]
+
+use noisescope::prelude::*;
+use nsdata::GaussianSpec;
+
+/// A deliberately tiny task for microbenchmarks: small enough that one
+/// replica trains in tens of milliseconds.
+pub fn micro_task() -> TaskSpec {
+    let mut t = TaskSpec::small_cnn_cifar10();
+    t.data = DataSource::Gaussian(GaussianSpec {
+        classes: 4,
+        train_per_class: 16,
+        test_per_class: 8,
+        hw: 8,
+        ..GaussianSpec::cifar10_sim()
+    });
+    t.train.epochs = 2;
+    t.augment = false;
+    t
+}
+
+/// Microbenchmark settings: two replicas, no epoch scaling.
+pub fn micro_settings() -> ExperimentSettings {
+    ExperimentSettings {
+        replicas: 2,
+        ..ExperimentSettings::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_task_trains_quickly() {
+        let prepared = PreparedTask::prepare(&micro_task());
+        let r = run_replica(
+            &prepared,
+            &Device::v100(),
+            NoiseVariant::AlgoImpl,
+            &micro_settings(),
+            0,
+        );
+        assert!(r.accuracy.is_finite());
+    }
+}

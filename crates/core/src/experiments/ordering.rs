@@ -1,0 +1,135 @@
+//! Figure 6: data-order-only nondeterminism vs batch size, on the TPU.
+//!
+//! Every algorithmic factor (initialization, augmentation — disabled —,
+//! dropout — none) is pinned, execution is the TPU's deterministic
+//! fixed-order mode, and the *only* thing that varies between replicas is
+//! the shuffle order of the training data. Mathematically, at full batch
+//! the gradient is the same set of per-sample terms every time — yet
+//! replicas still diverge, because a different visit order changes the
+//! floating-point accumulation order of the gradient reductions. This is
+//! the paper's "latent implementation noise" result.
+
+use crate::report::render_table;
+use crate::runner::PreparedTask;
+use crate::settings::ExperimentSettings;
+use crate::task::TaskSpec;
+use hwsim::{Device, ExecutionContext, ExecutionMode};
+use nnet::trainer::{predict_classes, Targets, Trainer};
+use nsmetrics::{pairwise_mean_churn, pairwise_mean_l2};
+use serde::{Deserialize, Serialize};
+
+/// One Figure-6 data point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OrderingPoint {
+    /// Training batch size (`train_len` = single full batch).
+    pub batch_size: usize,
+    /// Mean pairwise churn across order-only replicas.
+    pub churn: f64,
+    /// Mean pairwise normalized-L2 weight distance.
+    pub l2: f64,
+    /// Mean accuracy (sanity signal).
+    pub mean_accuracy: f64,
+}
+
+/// Runs the ordering experiment.
+///
+/// Uses the small CNN on the CIFAR-10 stand-in with a longer epoch budget
+/// than the stability experiments: order-only noise starts at 1-ulp scale
+/// (no amplification applies on the deterministic TPU datapath) and needs
+/// time to grow through the training dynamics.
+pub fn fig6(settings: &ExperimentSettings) -> Vec<OrderingPoint> {
+    let mut task = TaskSpec::small_cnn_cifar10();
+    task.augment = false; // per-sample augmentation would covary with order
+    task.train.schedule = nnet::schedule::LrSchedule::Constant { lr: 0.05 };
+    let prepared = PreparedTask::prepare(&task);
+    let train_len = prepared.train_set().len();
+    let device = Device::tpu_v2();
+    let algo = detrand::Philox::from_seed(settings.base_seed); // fixed for all replicas
+
+    let batch_sizes = [16usize, 64, train_len];
+    let mut points = Vec::new();
+    for &bs in &batch_sizes {
+        let mut preds_sets = Vec::new();
+        let mut weight_sets = Vec::new();
+        let mut accs = Vec::new();
+        // Optimizer *steps*, not epochs, drive both learning and the
+        // amplification of order noise; give larger batches more epochs so
+        // every arm sees a comparable step budget (the paper trains 200
+        // epochs on the full dataset for every batch size).
+        let epochs = match bs {
+            b if b >= train_len => 300,
+            b if b >= 64 => 60,
+            _ => 30,
+        };
+        for replica in 0..settings.replicas {
+            let mut cfg = task.train_config(settings);
+            cfg.epochs = settings.scale_epochs(epochs);
+            cfg.batch_size = bs;
+            // The single varying factor: the shuffle stream's seed.
+            cfg.shuffle_seed_override =
+                Some(settings.base_seed ^ (0xF16_6000 + replica as u64));
+            let mut exec = ExecutionContext::new(device, ExecutionMode::Default, 0);
+            let mut net = task.build_model(&algo);
+            Trainer::new(cfg).fit(&mut net, prepared.train_set(), &mut exec, &algo, None);
+            let p = predict_classes(&mut net, prepared.test_set(), &mut exec, &algo, 64);
+            let labels = match &prepared.test_set().targets {
+                Targets::Classes(l) => l,
+                Targets::Binary(_) => unreachable!(),
+            };
+            accs.push(nsmetrics::accuracy(&p, labels));
+            preds_sets.push(p);
+            weight_sets.push(net.flat_weights());
+        }
+        points.push(OrderingPoint {
+            batch_size: bs,
+            churn: pairwise_mean_churn(&preds_sets),
+            l2: pairwise_mean_l2(&weight_sets),
+            mean_accuracy: nsmetrics::mean(&accs),
+        });
+    }
+    points
+}
+
+/// Renders the Figure-6 series.
+pub fn render_fig6(points: &[OrderingPoint]) -> String {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.batch_size.to_string(),
+                format!("{:.4}", p.churn),
+                format!("{:.5}", p.l2),
+                format!("{:.2}%", 100.0 * p.mean_accuracy),
+            ]
+        })
+        .collect();
+    render_table(
+        "Figure 6: data-order-only nondeterminism on TPU (fixed seed, deterministic hardware)",
+        &["Batch size", "churn", "l2", "mean acc"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_points_cover_full_batch() {
+        // Smoke-scale run: the full experiment is exercised by the repro
+        // harness; here we only verify plumbing and the full-batch case.
+        let settings = ExperimentSettings {
+            replicas: 2,
+            epochs_scale: 0.01, // 1-3 epochs per arm
+            ..ExperimentSettings::default()
+        };
+        let points = fig6(&settings);
+        assert_eq!(points.len(), 3);
+        let full = points.last().unwrap();
+        // Full batch = one step per epoch; batch size equals train length.
+        assert_eq!(full.batch_size, 400);
+        for p in &points {
+            assert!(p.churn >= 0.0 && p.l2 >= 0.0);
+        }
+    }
+}

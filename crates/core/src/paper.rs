@@ -1,0 +1,305 @@
+//! The paper's published reference values, and machinery to compare a
+//! reproduction run against them.
+//!
+//! Values are transcribed from Zhuang et al. (MLSys 2022): Table 2 (test
+//! accuracy ± stddev), Table 5 (CelebA subgroup stddev with relative
+//! scale), and the Figure-8 overhead extremes quoted in the text. The
+//! [`compare`] helpers produce the paper-vs-measured tables recorded in
+//! `EXPERIMENTS.md`.
+
+use serde::{Deserialize, Serialize};
+
+/// One Table-2 reference cell: mean accuracy ± stddev (percent).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Table2Ref {
+    /// Hardware name.
+    pub hardware: &'static str,
+    /// Task name (paper nomenclature).
+    pub task: &'static str,
+    /// Variant label (`ALGO+IMPL`, `ALGO`, `IMPL`).
+    pub variant: &'static str,
+    /// Mean test accuracy, percent.
+    pub mean_pct: f64,
+    /// Stddev of test accuracy, percent.
+    pub std_pct: f64,
+}
+
+/// The paper's Table 2 (all 30 cells).
+pub const TABLE2: [Table2Ref; 30] = [
+    // P100
+    Table2Ref { hardware: "P100", task: "SmallCNN CIFAR-10", variant: "ALGO+IMPL", mean_pct: 62.28, std_pct: 0.83 },
+    Table2Ref { hardware: "P100", task: "SmallCNN CIFAR-10", variant: "ALGO", mean_pct: 61.44, std_pct: 0.41 },
+    Table2Ref { hardware: "P100", task: "SmallCNN CIFAR-10", variant: "IMPL", mean_pct: 61.61, std_pct: 0.31 },
+    Table2Ref { hardware: "P100", task: "ResNet18 CIFAR-10", variant: "ALGO+IMPL", mean_pct: 93.33, std_pct: 0.14 },
+    Table2Ref { hardware: "P100", task: "ResNet18 CIFAR-10", variant: "ALGO", mean_pct: 93.32, std_pct: 0.13 },
+    Table2Ref { hardware: "P100", task: "ResNet18 CIFAR-10", variant: "IMPL", mean_pct: 93.12, std_pct: 0.11 },
+    Table2Ref { hardware: "P100", task: "ResNet18 CIFAR-100", variant: "ALGO+IMPL", mean_pct: 73.37, std_pct: 0.23 },
+    Table2Ref { hardware: "P100", task: "ResNet18 CIFAR-100", variant: "ALGO", mean_pct: 73.42, std_pct: 0.26 },
+    Table2Ref { hardware: "P100", task: "ResNet18 CIFAR-100", variant: "IMPL", mean_pct: 73.36, std_pct: 0.17 },
+    // RTX5000
+    Table2Ref { hardware: "RTX5000", task: "SmallCNN CIFAR-10", variant: "ALGO+IMPL", mean_pct: 62.24, std_pct: 0.64 },
+    Table2Ref { hardware: "RTX5000", task: "SmallCNN CIFAR-10", variant: "ALGO", mean_pct: 62.13, std_pct: 0.85 },
+    Table2Ref { hardware: "RTX5000", task: "SmallCNN CIFAR-10", variant: "IMPL", mean_pct: 62.36, std_pct: 0.16 },
+    Table2Ref { hardware: "RTX5000", task: "ResNet18 CIFAR-10", variant: "ALGO+IMPL", mean_pct: 93.34, std_pct: 0.11 },
+    Table2Ref { hardware: "RTX5000", task: "ResNet18 CIFAR-10", variant: "ALGO", mean_pct: 93.44, std_pct: 0.19 },
+    Table2Ref { hardware: "RTX5000", task: "ResNet18 CIFAR-10", variant: "IMPL", mean_pct: 93.13, std_pct: 0.09 },
+    Table2Ref { hardware: "RTX5000", task: "ResNet18 CIFAR-100", variant: "ALGO+IMPL", mean_pct: 73.30, std_pct: 0.16 },
+    Table2Ref { hardware: "RTX5000", task: "ResNet18 CIFAR-100", variant: "ALGO", mean_pct: 73.52, std_pct: 0.15 },
+    Table2Ref { hardware: "RTX5000", task: "ResNet18 CIFAR-100", variant: "IMPL", mean_pct: 73.34, std_pct: 0.24 },
+    // V100
+    Table2Ref { hardware: "V100", task: "SmallCNN CIFAR-10", variant: "ALGO+IMPL", mean_pct: 62.03, std_pct: 0.91 },
+    Table2Ref { hardware: "V100", task: "SmallCNN CIFAR-10", variant: "ALGO", mean_pct: 62.35, std_pct: 0.61 },
+    Table2Ref { hardware: "V100", task: "SmallCNN CIFAR-10", variant: "IMPL", mean_pct: 61.69, std_pct: 0.31 },
+    Table2Ref { hardware: "V100", task: "ResNet18 CIFAR-10", variant: "ALGO+IMPL", mean_pct: 93.32, std_pct: 0.17 },
+    Table2Ref { hardware: "V100", task: "ResNet18 CIFAR-10", variant: "ALGO", mean_pct: 93.44, std_pct: 0.05 },
+    Table2Ref { hardware: "V100", task: "ResNet18 CIFAR-10", variant: "IMPL", mean_pct: 93.41, std_pct: 0.13 },
+    Table2Ref { hardware: "V100", task: "ResNet18 CIFAR-100", variant: "ALGO+IMPL", mean_pct: 73.42, std_pct: 0.25 },
+    Table2Ref { hardware: "V100", task: "ResNet18 CIFAR-100", variant: "ALGO", mean_pct: 73.35, std_pct: 0.14 },
+    Table2Ref { hardware: "V100", task: "ResNet18 CIFAR-100", variant: "IMPL", mean_pct: 73.41, std_pct: 0.28 },
+    Table2Ref { hardware: "V100", task: "ResNet50 ImageNet", variant: "ALGO+IMPL", mean_pct: 76.58, std_pct: 0.10 },
+    Table2Ref { hardware: "V100", task: "ResNet50 ImageNet", variant: "ALGO", mean_pct: 76.61, std_pct: 0.10 },
+    Table2Ref { hardware: "V100", task: "ResNet50 ImageNet", variant: "IMPL", mean_pct: 76.60, std_pct: 0.05 },
+];
+
+/// One Table-5 reference row: subgroup stddev scale relative to "All".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Table5Ref {
+    /// Variant label.
+    pub variant: &'static str,
+    /// Subgroup name.
+    pub group: &'static str,
+    /// Relative accuracy-stddev scale (×).
+    pub rel_accuracy: f64,
+    /// Relative FPR-stddev scale (×).
+    pub rel_fpr: f64,
+    /// Relative FNR-stddev scale (×).
+    pub rel_fnr: f64,
+}
+
+/// The paper's Table 5 relative scales (per variant, per subgroup).
+pub const TABLE5: [Table5Ref; 15] = [
+    Table5Ref { variant: "ALGO+IMPL", group: "All", rel_accuracy: 1.00, rel_fpr: 1.00, rel_fnr: 1.00 },
+    Table5Ref { variant: "ALGO+IMPL", group: "Male", rel_accuracy: 1.07, rel_fpr: 0.50, rel_fnr: 4.60 },
+    Table5Ref { variant: "ALGO+IMPL", group: "Female", rel_accuracy: 1.36, rel_fpr: 1.71, rel_fnr: 0.98 },
+    Table5Ref { variant: "ALGO+IMPL", group: "Young", rel_accuracy: 1.10, rel_fpr: 1.00, rel_fnr: 1.08 },
+    Table5Ref { variant: "ALGO+IMPL", group: "Old", rel_accuracy: 3.31, rel_fpr: 1.57, rel_fnr: 1.51 },
+    Table5Ref { variant: "ALGO", group: "All", rel_accuracy: 1.00, rel_fpr: 1.00, rel_fnr: 1.00 },
+    Table5Ref { variant: "ALGO", group: "Male", rel_accuracy: 0.94, rel_fpr: 1.01, rel_fnr: 4.66 },
+    Table5Ref { variant: "ALGO", group: "Female", rel_accuracy: 1.62, rel_fpr: 1.81, rel_fnr: 0.89 },
+    Table5Ref { variant: "ALGO", group: "Young", rel_accuracy: 0.93, rel_fpr: 0.99, rel_fnr: 1.10 },
+    Table5Ref { variant: "ALGO", group: "Old", rel_accuracy: 1.83, rel_fpr: 1.81, rel_fnr: 0.86 },
+    Table5Ref { variant: "IMPL", group: "All", rel_accuracy: 1.00, rel_fpr: 1.00, rel_fnr: 1.00 },
+    Table5Ref { variant: "IMPL", group: "Male", rel_accuracy: 0.64, rel_fpr: 0.61, rel_fnr: 3.61 },
+    Table5Ref { variant: "IMPL", group: "Female", rel_accuracy: 1.39, rel_fpr: 1.48, rel_fnr: 0.89 },
+    Table5Ref { variant: "IMPL", group: "Young", rel_accuracy: 1.00, rel_fpr: 0.93, rel_fnr: 1.27 },
+    Table5Ref { variant: "IMPL", group: "Old", rel_accuracy: 2.36, rel_fpr: 2.21, rel_fnr: 2.10 },
+];
+
+/// The Figure-8 overhead extremes quoted in the paper's text
+/// (deterministic relative GPU time, percent).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverheadRef {
+    /// GPU name.
+    pub device: &'static str,
+    /// Minimum of the medium-CNN filter sweep (k = 1).
+    pub sweep_min_pct: f64,
+    /// Maximum of the medium-CNN filter sweep (k = 7).
+    pub sweep_max_pct: f64,
+}
+
+/// Paper §4: "284%~746% on P100, 129%~241% on V100, and 117%~196% on T4".
+pub const FIG8B: [OverheadRef; 3] = [
+    OverheadRef { device: "P100", sweep_min_pct: 284.0, sweep_max_pct: 746.0 },
+    OverheadRef { device: "V100", sweep_min_pct: 129.0, sweep_max_pct: 241.0 },
+    OverheadRef { device: "T4", sweep_min_pct: 117.0, sweep_max_pct: 196.0 },
+];
+
+/// Other headline quantities from the paper's text.
+pub mod headline {
+    /// Fig. 4: max per-class accuracy stddev over top-line stddev, CIFAR-10.
+    pub const FIG4_CIFAR10_RATIO: f64 = 4.0;
+    /// Fig. 4: the same ratio for CIFAR-100.
+    pub const FIG4_CIFAR100_RATIO: f64 = 23.0;
+    /// Fig. 2: small-CNN accuracy stddev without BN (percent).
+    pub const FIG2_STD_NO_BN_PCT: f64 = 0.86;
+    /// Fig. 2: with BN (percent).
+    pub const FIG2_STD_WITH_BN_PCT: f64 = 0.30;
+    /// §3.1: ResNet-50/ImageNet churn under IMPL.
+    pub const RESNET50_IMPL_CHURN: f64 = 0.1468;
+    /// §3.1: ResNet-50/ImageNet churn under ALGO.
+    pub const RESNET50_ALGO_CHURN: f64 = 0.1489;
+    /// §4: VGG-19 relative GPU time on V100 (percent).
+    pub const VGG19_V100_PCT: f64 = 185.0;
+    /// §4: MobileNet relative GPU time on V100 (percent).
+    pub const MOBILENET_V100_PCT: f64 = 101.0;
+}
+
+/// Paper-vs-measured comparison rows.
+pub mod compare {
+    use super::*;
+    use crate::experiments::cost::OverheadPoint;
+    use crate::experiments::stability::StabilityGrid;
+    use crate::report::render_table;
+
+    /// One comparison row.
+    #[derive(Debug, Clone, Serialize, Deserialize)]
+    pub struct Comparison {
+        /// What is being compared.
+        pub quantity: String,
+        /// The paper's value.
+        pub paper: f64,
+        /// The reproduction's value.
+        pub measured: f64,
+    }
+
+    impl Comparison {
+        /// `measured / paper` (0 when the paper value is 0).
+        pub fn ratio(&self) -> f64 {
+            if self.paper == 0.0 {
+                0.0
+            } else {
+                self.measured / self.paper
+            }
+        }
+    }
+
+    /// Compares a measured stability grid against the paper's Table 2
+    /// accuracy means (stddev magnitudes differ by design at reduced
+    /// scale; the means anchor the task difficulty).
+    pub fn table2(grid: &StabilityGrid) -> Vec<Comparison> {
+        TABLE2
+            .iter()
+            .filter_map(|r| {
+                let cell = grid.reports.iter().find(|m| {
+                    m.task == r.task
+                        && m.device == r.hardware
+                        && m.variant.label() == r.variant
+                })?;
+                Some(Comparison {
+                    quantity: format!("{} / {} / {} mean acc %", r.hardware, r.task, r.variant),
+                    paper: r.mean_pct,
+                    measured: 100.0 * cell.mean_accuracy,
+                })
+            })
+            .collect()
+    }
+
+    /// Compares the measured filter sweep against the paper's quoted
+    /// extremes.
+    pub fn fig8b(points: &[OverheadPoint]) -> Vec<Comparison> {
+        let mut out = Vec::new();
+        for r in FIG8B {
+            let series: Vec<f64> = points
+                .iter()
+                .filter(|p| p.device == r.device)
+                .map(|p| p.overhead_pct)
+                .collect();
+            if series.is_empty() {
+                continue;
+            }
+            let min = series.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = series.iter().cloned().fold(0.0f64, f64::max);
+            out.push(Comparison {
+                quantity: format!("{} sweep min %", r.device),
+                paper: r.sweep_min_pct,
+                measured: min,
+            });
+            out.push(Comparison {
+                quantity: format!("{} sweep max %", r.device),
+                paper: r.sweep_max_pct,
+                measured: max,
+            });
+        }
+        out
+    }
+
+    /// Renders comparison rows as a text table.
+    pub fn render(title: &str, rows: &[Comparison]) -> String {
+        let table_rows: Vec<Vec<String>> = rows
+            .iter()
+            .map(|c| {
+                vec![
+                    c.quantity.clone(),
+                    format!("{:.2}", c.paper),
+                    format!("{:.2}", c.measured),
+                    format!("{:.2}x", c.ratio()),
+                ]
+            })
+            .collect();
+        render_table(title, &["Quantity", "Paper", "Measured", "Ratio"], &table_rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_all_thirty_cells() {
+        assert_eq!(TABLE2.len(), 30);
+        // 3 GPUs × 3 tasks × 3 variants + V100 ImageNet × 3.
+        let v100_rows = TABLE2.iter().filter(|r| r.hardware == "V100").count();
+        assert_eq!(v100_rows, 12);
+        for r in &TABLE2 {
+            assert!(r.mean_pct > 50.0 && r.mean_pct < 100.0);
+            assert!(r.std_pct > 0.0 && r.std_pct < 1.0);
+        }
+    }
+
+    #[test]
+    fn table5_relative_scales_anchor_at_one() {
+        for r in TABLE5.iter().filter(|r| r.group == "All") {
+            assert_eq!(r.rel_accuracy, 1.0);
+            assert_eq!(r.rel_fpr, 1.0);
+            assert_eq!(r.rel_fnr, 1.0);
+        }
+        // The paper's headline: Male FNR 4.60×, Old accuracy 3.31×.
+        let male = TABLE5
+            .iter()
+            .find(|r| r.variant == "ALGO+IMPL" && r.group == "Male")
+            .unwrap();
+        assert!((male.rel_fnr - 4.60).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comparison_ratio() {
+        let c = compare::Comparison {
+            quantity: "x".into(),
+            paper: 2.0,
+            measured: 3.0,
+        };
+        assert!((c.ratio() - 1.5).abs() < 1e-12);
+        let z = compare::Comparison {
+            quantity: "y".into(),
+            paper: 0.0,
+            measured: 3.0,
+        };
+        assert_eq!(z.ratio(), 0.0);
+    }
+
+    #[test]
+    fn fig8b_comparison_computes_extremes() {
+        use crate::experiments::cost::OverheadPoint;
+        let pts = vec![
+            OverheadPoint {
+                workload: "MediumCNN k=1".into(),
+                device: "P100".into(),
+                default_time_s: 1.0,
+                deterministic_time_s: 2.0,
+                overhead_pct: 200.0,
+            },
+            OverheadPoint {
+                workload: "MediumCNN k=7".into(),
+                device: "P100".into(),
+                default_time_s: 1.0,
+                deterministic_time_s: 8.0,
+                overhead_pct: 800.0,
+            },
+        ];
+        let rows = compare::fig8b(&pts);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].measured, 200.0);
+        assert_eq!(rows[1].measured, 800.0);
+        assert!(compare::render("t", &rows).contains("P100 sweep max"));
+    }
+}

@@ -1,0 +1,318 @@
+//! Replica fleets: train N independent models under a noise variant and
+//! collect everything the stability metrics need.
+
+use crate::settings::ExperimentSettings;
+use crate::task::{DataSource, TaskSpec};
+use crate::variant::NoiseVariant;
+use hwsim::{Device, ExecutionContext};
+use nnet::trainer::{predict_binary, predict_classes, Dataset, Targets, Trainer};
+use nsdata::{CelebaData, ShiftFlip, SplitDataset};
+use serde::{Deserialize, Serialize};
+
+/// A task with its dataset materialized (generation happens once; the
+/// dataset is a fixed artifact shared by every replica, like CIFAR on
+/// disk).
+#[derive(Debug, Clone)]
+pub struct PreparedTask {
+    /// The task specification.
+    pub spec: TaskSpec,
+    /// The materialized data.
+    pub data: PreparedData,
+}
+
+/// The materialized dataset of a prepared task.
+#[derive(Debug, Clone)]
+pub enum PreparedData {
+    /// Gaussian-cluster classification splits.
+    Gaussian(Box<SplitDataset>),
+    /// The CelebA stand-in (with subgroup metadata).
+    Celeba(Box<CelebaData>),
+}
+
+impl PreparedTask {
+    /// Generates the task's dataset.
+    pub fn prepare(spec: &TaskSpec) -> Self {
+        let data = match spec.data {
+            DataSource::Gaussian(g) => PreparedData::Gaussian(Box::new(g.generate())),
+            DataSource::Celeba(c) => PreparedData::Celeba(Box::new(c.generate())),
+        };
+        Self {
+            spec: spec.clone(),
+            data,
+        }
+    }
+
+    /// The training split.
+    pub fn train_set(&self) -> &Dataset {
+        match &self.data {
+            PreparedData::Gaussian(s) => &s.train,
+            PreparedData::Celeba(c) => &c.train,
+        }
+    }
+
+    /// The test split.
+    pub fn test_set(&self) -> &Dataset {
+        match &self.data {
+            PreparedData::Gaussian(s) => &s.test,
+            PreparedData::Celeba(c) => &c.test,
+        }
+    }
+
+    /// Number of classes (1 for binary attribute tasks).
+    pub fn classes(&self) -> usize {
+        match &self.data {
+            PreparedData::Gaussian(s) => s.classes,
+            PreparedData::Celeba(_) => 1,
+        }
+    }
+}
+
+/// Test-set predictions of one replica.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Preds {
+    /// Class predictions.
+    Classes(Vec<u32>),
+    /// Flat binary attribute predictions.
+    Binary(Vec<u8>),
+}
+
+/// Everything a stability metric needs from one trained replica.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReplicaResult {
+    /// Replica index.
+    pub replica: u32,
+    /// Test accuracy.
+    pub accuracy: f64,
+    /// Test predictions.
+    pub preds: Preds,
+    /// Flattened final weights.
+    pub weights: Vec<f32>,
+    /// Final-epoch mean training loss.
+    pub final_train_loss: f32,
+}
+
+/// All replicas of one (task, device, variant) cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VariantRuns {
+    /// The variant trained under.
+    pub variant: NoiseVariant,
+    /// Replica outcomes, in replica order.
+    pub results: Vec<ReplicaResult>,
+}
+
+impl VariantRuns {
+    /// Replica accuracies.
+    pub fn accuracies(&self) -> Vec<f64> {
+        self.results.iter().map(|r| r.accuracy).collect()
+    }
+
+    /// Replica weight vectors.
+    pub fn weight_sets(&self) -> Vec<Vec<f32>> {
+        self.results.iter().map(|r| r.weights.clone()).collect()
+    }
+
+    /// Replica class predictions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runs hold binary predictions.
+    pub fn class_pred_sets(&self) -> Vec<Vec<u32>> {
+        self.results
+            .iter()
+            .map(|r| match &r.preds {
+                Preds::Classes(p) => p.clone(),
+                Preds::Binary(_) => panic!("expected class predictions"),
+            })
+            .collect()
+    }
+
+    /// Replica binary predictions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runs hold class predictions.
+    pub fn binary_pred_sets(&self) -> Vec<Vec<u8>> {
+        self.results
+            .iter()
+            .map(|r| match &r.preds {
+                Preds::Binary(p) => p.clone(),
+                Preds::Classes(_) => panic!("expected binary predictions"),
+            })
+            .collect()
+    }
+}
+
+/// Trains one replica of a task on a device under a variant.
+pub fn run_replica(
+    prepared: &PreparedTask,
+    device: &Device,
+    variant: NoiseVariant,
+    settings: &ExperimentSettings,
+    replica: u32,
+) -> ReplicaResult {
+    let spec = &prepared.spec;
+    let algo = variant.seed_policy().root_for(settings.base_seed, replica);
+    let mut exec = ExecutionContext::with_amplification(
+        *device,
+        variant.exec_mode(),
+        settings.entropy_for(replica),
+        settings.amp_ulps,
+    );
+    let mut net = spec.build_model(&algo);
+    let trainer = Trainer::new(spec.train_config(settings));
+    let augment = ShiftFlip::standard();
+    let report = trainer.fit(
+        &mut net,
+        prepared.train_set(),
+        &mut exec,
+        &algo,
+        if spec.augment { Some(&augment) } else { None },
+    );
+
+    let test = prepared.test_set();
+    let (preds, accuracy) = match &test.targets {
+        Targets::Classes(labels) => {
+            let p = predict_classes(&mut net, test, &mut exec, &algo, 64);
+            let acc = nsmetrics::accuracy(&p, labels);
+            (Preds::Classes(p), acc)
+        }
+        Targets::Binary(t) => {
+            let p = predict_binary(&mut net, test, &mut exec, &algo, 64);
+            let labels: Vec<u8> = t.as_slice().iter().map(|&v| (v > 0.5) as u8).collect();
+            let acc = nsmetrics::accuracy(&p, &labels);
+            (Preds::Binary(p), acc)
+        }
+    };
+
+    ReplicaResult {
+        replica,
+        accuracy,
+        preds,
+        weights: net.flat_weights(),
+        final_train_loss: report.epoch_losses.last().copied().unwrap_or(f32::NAN),
+    }
+}
+
+/// Trains the whole replica fleet for a variant, parallelized over the
+/// host's cores (replicas are embarrassingly parallel).
+pub fn run_variant(
+    prepared: &PreparedTask,
+    device: &Device,
+    variant: NoiseVariant,
+    settings: &ExperimentSettings,
+) -> VariantRuns {
+    let n = settings.replicas;
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n as usize)
+        .max(1);
+    let mut results: Vec<Option<ReplicaResult>> = (0..n).map(|_| None).collect();
+    if workers <= 1 {
+        for r in 0..n {
+            results[r as usize] = Some(run_replica(prepared, device, variant, settings, r));
+        }
+    } else {
+        let next = std::sync::atomic::AtomicU32::new(0);
+        let slots: Vec<std::sync::Mutex<Option<ReplicaResult>>> =
+            (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let r = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if r >= n {
+                        break;
+                    }
+                    let out = run_replica(prepared, device, variant, settings, r);
+                    *slots[r as usize].lock().unwrap() = Some(out);
+                });
+            }
+        })
+        .expect("replica worker panicked");
+        for (i, slot) in slots.into_iter().enumerate() {
+            results[i] = slot.into_inner().unwrap();
+        }
+    }
+    VariantRuns {
+        variant,
+        results: results.into_iter().map(|r| r.expect("replica missing")).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskSpec;
+    use nsdata::GaussianSpec;
+
+    /// A deliberately tiny task for unit tests.
+    fn tiny_task() -> TaskSpec {
+        let mut t = TaskSpec::small_cnn_cifar10();
+        t.data = crate::task::DataSource::Gaussian(GaussianSpec {
+            classes: 4,
+            train_per_class: 12,
+            test_per_class: 8,
+            ..GaussianSpec::cifar10_sim()
+        });
+        t.train.epochs = 2;
+        t.augment = false;
+        t
+    }
+
+    fn tiny_settings() -> ExperimentSettings {
+        ExperimentSettings {
+            replicas: 2,
+            ..ExperimentSettings::default()
+        }
+    }
+
+    #[test]
+    fn replica_produces_complete_result() {
+        let prepared = PreparedTask::prepare(&tiny_task());
+        let r = run_replica(
+            &prepared,
+            &Device::cpu(),
+            NoiseVariant::Control,
+            &tiny_settings(),
+            0,
+        );
+        assert_eq!(r.preds, r.preds);
+        assert!(!r.weights.is_empty());
+        assert!((0.0..=1.0).contains(&r.accuracy));
+        assert!(r.final_train_loss.is_finite());
+    }
+
+    #[test]
+    fn control_variant_is_bitwise_reproducible() {
+        let prepared = PreparedTask::prepare(&tiny_task());
+        let settings = tiny_settings();
+        let runs = run_variant(&prepared, &Device::v100(), NoiseVariant::Control, &settings);
+        assert_eq!(runs.results.len(), 2);
+        assert_eq!(runs.results[0].weights, runs.results[1].weights);
+        assert_eq!(runs.results[0].preds, runs.results[1].preds);
+    }
+
+    #[test]
+    fn algo_variant_diverges() {
+        let prepared = PreparedTask::prepare(&tiny_task());
+        let settings = tiny_settings();
+        let runs = run_variant(&prepared, &Device::v100(), NoiseVariant::Algo, &settings);
+        assert_ne!(runs.results[0].weights, runs.results[1].weights);
+    }
+
+    #[test]
+    fn impl_variant_diverges_on_gpu_but_not_tpu() {
+        let prepared = PreparedTask::prepare(&tiny_task());
+        let settings = tiny_settings();
+        let gpu = run_variant(&prepared, &Device::v100(), NoiseVariant::Impl, &settings);
+        assert_ne!(
+            gpu.results[0].weights, gpu.results[1].weights,
+            "GPU IMPL runs must diverge"
+        );
+        let tpu = run_variant(&prepared, &Device::tpu_v2(), NoiseVariant::Impl, &settings);
+        assert_eq!(
+            tpu.results[0].weights, tpu.results[1].weights,
+            "TPU is deterministic by design"
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! The paper's four experimental arms (§2.2).
+
+use detrand::SeedPolicy;
+use hwsim::ExecutionMode;
+use serde::{Deserialize, Serialize};
+
+/// A noise variant: which families of randomness are left free.
+///
+/// | Variant    | Algorithmic seed | Execution        |
+/// |------------|------------------|------------------|
+/// | `AlgoImpl` | per replica      | nondeterministic |
+/// | `Algo`     | per replica      | deterministic    |
+/// | `Impl`     | fixed            | nondeterministic |
+/// | `Control`  | fixed            | deterministic    |
+///
+/// `Control` must produce bitwise-identical replicas — asserted by the
+/// integration tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NoiseVariant {
+    /// Both noise families free (the default training setting).
+    AlgoImpl,
+    /// Only algorithmic noise (deterministic execution).
+    Algo,
+    /// Only implementation noise (fixed algorithmic seed).
+    Impl,
+    /// Neither (fixed seed + deterministic execution).
+    Control,
+}
+
+impl NoiseVariant {
+    /// The three measured arms of every figure (Control is a check, not a
+    /// measurement — its variance is zero by construction).
+    pub const MEASURED: [NoiseVariant; 3] =
+        [NoiseVariant::AlgoImpl, NoiseVariant::Algo, NoiseVariant::Impl];
+
+    /// All four arms.
+    pub const ALL: [NoiseVariant; 4] = [
+        NoiseVariant::AlgoImpl,
+        NoiseVariant::Algo,
+        NoiseVariant::Impl,
+        NoiseVariant::Control,
+    ];
+
+    /// How algorithmic seeds are assigned to replicas under this variant.
+    pub fn seed_policy(self) -> SeedPolicy {
+        match self {
+            NoiseVariant::AlgoImpl | NoiseVariant::Algo => SeedPolicy::PerReplica,
+            NoiseVariant::Impl | NoiseVariant::Control => SeedPolicy::Fixed,
+        }
+    }
+
+    /// The execution mode under this variant.
+    pub fn exec_mode(self) -> ExecutionMode {
+        match self {
+            NoiseVariant::AlgoImpl | NoiseVariant::Impl => ExecutionMode::Default,
+            NoiseVariant::Algo | NoiseVariant::Control => ExecutionMode::Deterministic,
+        }
+    }
+
+    /// The paper's label for the variant.
+    pub fn label(self) -> &'static str {
+        match self {
+            NoiseVariant::AlgoImpl => "ALGO+IMPL",
+            NoiseVariant::Algo => "ALGO",
+            NoiseVariant::Impl => "IMPL",
+            NoiseVariant::Control => "CONTROL",
+        }
+    }
+}
+
+impl std::fmt::Display for NoiseVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_matrix_matches_paper() {
+        assert_eq!(NoiseVariant::AlgoImpl.seed_policy(), SeedPolicy::PerReplica);
+        assert_eq!(NoiseVariant::AlgoImpl.exec_mode(), ExecutionMode::Default);
+        assert_eq!(NoiseVariant::Algo.seed_policy(), SeedPolicy::PerReplica);
+        assert_eq!(NoiseVariant::Algo.exec_mode(), ExecutionMode::Deterministic);
+        assert_eq!(NoiseVariant::Impl.seed_policy(), SeedPolicy::Fixed);
+        assert_eq!(NoiseVariant::Impl.exec_mode(), ExecutionMode::Default);
+        assert_eq!(NoiseVariant::Control.seed_policy(), SeedPolicy::Fixed);
+        assert_eq!(NoiseVariant::Control.exec_mode(), ExecutionMode::Deterministic);
+    }
+
+    #[test]
+    fn labels_match_paper_nomenclature() {
+        assert_eq!(NoiseVariant::AlgoImpl.to_string(), "ALGO+IMPL");
+        assert_eq!(NoiseVariant::Impl.to_string(), "IMPL");
+    }
+
+    #[test]
+    fn measured_excludes_control() {
+        assert!(!NoiseVariant::MEASURED.contains(&NoiseVariant::Control));
+        assert_eq!(NoiseVariant::ALL.len(), 4);
+    }
+}

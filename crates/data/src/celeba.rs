@@ -1,0 +1,281 @@
+//! The CelebA stand-in: binary attribute prediction with protected
+//! subgroups whose imbalance matches the paper's Table 3.
+//!
+//! The paper trains ResNet-18 on CelebA and dis-aggregates stability
+//! metrics over two protected unitary dimensions — Male/Female and
+//! Young/Old — finding that noise disproportionately destabilizes the
+//! *underrepresented* positive groups (Male: 0.8 % positive, Old: 2.5 %
+//! positive). What drives that result is the joint distribution of
+//! (subgroup, label), which this generator reproduces; pixel content is
+//! immaterial.
+
+use detrand::{Philox, StreamId};
+use nnet::trainer::{Dataset, Targets};
+use nstensor::{Shape, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// Per-sample subgroup membership and label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CelebaMeta {
+    /// Protected dimension 1: male (vs. female).
+    pub male: bool,
+    /// Protected dimension 2: young (vs. old).
+    pub young: bool,
+    /// Target attribute label.
+    pub positive: bool,
+}
+
+/// Positive/negative counts per subgroup (the paper's Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SubgroupCounts {
+    /// Positive samples among males.
+    pub male_pos: usize,
+    /// Negative samples among males.
+    pub male_neg: usize,
+    /// Positive samples among females.
+    pub female_pos: usize,
+    /// Negative samples among females.
+    pub female_neg: usize,
+    /// Positive samples among the young.
+    pub young_pos: usize,
+    /// Negative samples among the young.
+    pub young_neg: usize,
+    /// Positive samples among the old.
+    pub old_pos: usize,
+    /// Negative samples among the old.
+    pub old_neg: usize,
+}
+
+impl SubgroupCounts {
+    /// Tallies metadata rows.
+    pub fn from_meta(meta: &[CelebaMeta]) -> Self {
+        let mut c = SubgroupCounts::default();
+        for m in meta {
+            match (m.male, m.positive) {
+                (true, true) => c.male_pos += 1,
+                (true, false) => c.male_neg += 1,
+                (false, true) => c.female_pos += 1,
+                (false, false) => c.female_neg += 1,
+            }
+            match (m.young, m.positive) {
+                (true, true) => c.young_pos += 1,
+                (true, false) => c.young_neg += 1,
+                (false, true) => c.old_pos += 1,
+                (false, false) => c.old_neg += 1,
+            }
+        }
+        c
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> usize {
+        self.male_pos + self.male_neg + self.female_pos + self.female_neg
+    }
+}
+
+/// Specification of the CelebA stand-in.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CelebaSpec {
+    /// Training samples.
+    pub train_len: usize,
+    /// Test samples.
+    pub test_len: usize,
+    /// Image height = width.
+    pub hw: usize,
+    /// Image channels.
+    pub channels: usize,
+    /// Scale of the attribute/subgroup feature directions.
+    pub signal: f32,
+    /// Per-sample noise scale.
+    pub noise_std: f32,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for CelebaSpec {
+    fn default() -> Self {
+        Self {
+            train_len: 1600,
+            test_len: 1200,
+            hw: 8,
+            channels: 3,
+            signal: 0.10,
+            noise_std: 1.0,
+            seed: 0xCE1E_BA01,
+        }
+    }
+}
+
+/// CelebA Table-3 marginals (fractions of the full dataset).
+/// Male 41.9 %, Young 77.9 %; positive rates per subgroup below.
+const P_MALE: f64 = 0.419;
+const P_YOUNG: f64 = 0.779;
+/// Positive-rate multiplicative model fitted to Table 3:
+/// `P(pos | g, a) = base × r_g × s_a`.
+const P_POS_BASE: f64 = 0.149;
+const R_MALE: f64 = 0.136;
+const R_FEMALE: f64 = 1.624;
+const S_YOUNG: f64 = 1.071;
+const S_OLD: f64 = 0.753;
+
+impl CelebaSpec {
+    /// Generates the dataset: binary-attribute targets `[N, 1]`, plus
+    /// per-test-sample subgroup metadata.
+    pub fn generate(&self) -> CelebaData {
+        let root = Philox::from_seed(self.seed);
+        let dim = self.channels * self.hw * self.hw;
+
+        // Feature directions for gender, age and the target attribute.
+        let mut dir_rng = root.stream(StreamId::DATASET.child(0));
+        let mut dirs = vec![0f32; 3 * dim];
+        for v in &mut dirs {
+            *v = dir_rng.normal();
+        }
+        let (g_dir, rest) = dirs.split_at(dim);
+        let (a_dir, t_dir) = rest.split_at(dim);
+
+        let mut sample_rng = root.stream(StreamId::DATASET.child(1));
+        let mut make_split = |n: usize| -> (Dataset, Vec<CelebaMeta>) {
+            let mut x = vec![0f32; n * dim];
+            let mut targets = vec![0f32; n];
+            let mut meta = Vec::with_capacity(n);
+            for i in 0..n {
+                let male = sample_rng.next_f64() < P_MALE;
+                let young = sample_rng.next_f64() < P_YOUNG;
+                let p_pos = P_POS_BASE
+                    * if male { R_MALE } else { R_FEMALE }
+                    * if young { S_YOUNG } else { S_OLD };
+                let positive = sample_rng.next_f64() < p_pos;
+                meta.push(CelebaMeta {
+                    male,
+                    young,
+                    positive,
+                });
+                targets[i] = positive as u8 as f32;
+                let gs = if male { 1.0 } else { -1.0 };
+                let as_ = if young { 1.0 } else { -1.0 };
+                let ts = if positive { 1.0 } else { -1.0 };
+                for j in 0..dim {
+                    x[i * dim + j] = self.signal
+                        * (0.6 * gs * g_dir[j] + 0.5 * as_ * a_dir[j] + ts * t_dir[j])
+                        + self.noise_std * sample_rng.normal();
+                }
+            }
+            let ds = Dataset::new(
+                Tensor::from_vec(Shape::of(&[n, self.channels, self.hw, self.hw]), x)
+                    .expect("celeba shape"),
+                Targets::Binary(
+                    Tensor::from_vec(Shape::of(&[n, 1]), targets).expect("celeba targets"),
+                ),
+            );
+            (ds, meta)
+        };
+
+        let (train, train_meta) = make_split(self.train_len);
+        let (test, test_meta) = make_split(self.test_len);
+        CelebaData {
+            train,
+            test,
+            train_meta,
+            test_meta,
+        }
+    }
+}
+
+/// The generated CelebA stand-in.
+#[derive(Debug, Clone)]
+pub struct CelebaData {
+    /// Training split.
+    pub train: Dataset,
+    /// Test split.
+    pub test: Dataset,
+    /// Subgroup metadata aligned with the training split.
+    pub train_meta: Vec<CelebaMeta>,
+    /// Subgroup metadata aligned with the test split.
+    pub test_meta: Vec<CelebaMeta>,
+}
+
+impl CelebaData {
+    /// Table-3-style counts over the training split.
+    pub fn train_counts(&self) -> SubgroupCounts {
+        SubgroupCounts::from_meta(&self.train_meta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_shapes() {
+        let spec = CelebaSpec::default();
+        let data = spec.generate();
+        assert_eq!(data.train.len(), spec.train_len);
+        assert_eq!(data.test.len(), spec.test_len);
+        assert_eq!(data.train_meta.len(), spec.train_len);
+        match &data.train.targets {
+            Targets::Binary(t) => assert_eq!(t.shape().dims(), &[spec.train_len, 1]),
+            _ => panic!("expected binary targets"),
+        }
+    }
+
+    #[test]
+    fn subgroup_imbalance_matches_table3_shape() {
+        // Large sample so proportions are tight.
+        let spec = CelebaSpec {
+            train_len: 40_000,
+            test_len: 10,
+            ..CelebaSpec::default()
+        };
+        let c = spec.generate().train_counts();
+        let total = c.total() as f64;
+        // Male fraction ≈ 41.9 %.
+        let male_frac = (c.male_pos + c.male_neg) as f64 / total;
+        assert!((male_frac - P_MALE).abs() < 0.02, "male frac {male_frac}");
+        // Male positive rate ≈ 2 %; female ≈ 24 %: >8× disparity.
+        let male_pos_rate = c.male_pos as f64 / (c.male_pos + c.male_neg) as f64;
+        let female_pos_rate = c.female_pos as f64 / (c.female_pos + c.female_neg) as f64;
+        assert!(male_pos_rate < 0.05, "male pos rate {male_pos_rate}");
+        assert!(
+            female_pos_rate > 8.0 * male_pos_rate,
+            "disparity too small: {female_pos_rate} vs {male_pos_rate}"
+        );
+        // Old positives are the rarest age cell in absolute count.
+        assert!(c.old_pos < c.young_pos);
+        // Young fraction ≈ 77.9 %.
+        let young_frac = (c.young_pos + c.young_neg) as f64 / total;
+        assert!((young_frac - P_YOUNG).abs() < 0.02, "young frac {young_frac}");
+    }
+
+    #[test]
+    fn targets_align_with_meta() {
+        let data = CelebaSpec::default().generate();
+        match &data.train.targets {
+            Targets::Binary(t) => {
+                for (i, m) in data.train_meta.iter().enumerate() {
+                    assert_eq!(t.as_slice()[i] > 0.5, m.positive, "row {i}");
+                }
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn generation_deterministic_in_seed() {
+        let a = CelebaSpec::default().generate();
+        let b = CelebaSpec::default().generate();
+        assert_eq!(a.train.x.as_slice(), b.train.x.as_slice());
+        assert_eq!(a.train_meta, b.train_meta);
+    }
+
+    #[test]
+    fn counts_total_is_consistent() {
+        let data = CelebaSpec::default().generate();
+        let c = data.train_counts();
+        assert_eq!(c.total(), data.train.len());
+        assert_eq!(
+            c.young_pos + c.young_neg + c.old_pos + c.old_neg,
+            data.train.len()
+        );
+    }
+}

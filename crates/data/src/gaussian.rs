@@ -1,0 +1,337 @@
+//! Hierarchical Gaussian-cluster image datasets (CIFAR / ImageNet stand-ins).
+
+use detrand::{Philox, StreamId};
+use nnet::trainer::{Dataset, Targets};
+use nstensor::{Shape, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// Specification of a Gaussian-cluster dataset.
+///
+/// Every class `c` owns a prototype image
+/// `P_c = super_sep · S_{sc(c)} + class_sep · C_c` (superclass direction
+/// plus class-specific direction); a sample is `P_c + noise_std · ε`. The
+/// Bayes error — and therefore how much predictive churn small weight
+/// perturbations can cause — is controlled by the ratio of `class_sep` to
+/// `noise_std`, and `label_noise` flips a fraction of training labels to
+/// keep decision boundaries permanently contested (standing in for the
+/// hard, ambiguous examples of real CIFAR).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GaussianSpec {
+    /// Number of classes.
+    pub classes: usize,
+    /// Number of superclasses (1 = flat class structure).
+    pub superclasses: usize,
+    /// Image height = width.
+    pub hw: usize,
+    /// Image channels.
+    pub channels: usize,
+    /// Training samples per class.
+    pub train_per_class: usize,
+    /// Test samples per class.
+    pub test_per_class: usize,
+    /// Scale of the per-class prototype direction.
+    pub class_sep: f32,
+    /// Scale of the shared superclass direction.
+    pub super_sep: f32,
+    /// Per-sample noise scale.
+    pub noise_std: f32,
+    /// Fraction of training labels flipped to a random class.
+    pub label_noise: f32,
+    /// Generator seed (a dataset identity, not a run seed).
+    pub seed: u64,
+}
+
+impl GaussianSpec {
+    /// The CIFAR-10 stand-in: 10 flat classes, moderate overlap, sized so a
+    /// replica fleet trains in seconds.
+    pub fn cifar10_sim() -> Self {
+        Self {
+            classes: 10,
+            superclasses: 1,
+            hw: 12,
+            channels: 3,
+            train_per_class: 64,
+            test_per_class: 40,
+            class_sep: 0.55,
+            super_sep: 0.0,
+            noise_std: 1.0,
+            label_noise: 0.06,
+            seed: 0xC1FA_0010,
+        }
+    }
+
+    /// The CIFAR-100 stand-in: 100 classes in 20 superclasses; classes
+    /// within a superclass overlap heavily, which is what drives the
+    /// paper's 23× per-class-variance result.
+    pub fn cifar100_sim() -> Self {
+        Self {
+            classes: 100,
+            superclasses: 20,
+            hw: 12,
+            channels: 3,
+            train_per_class: 20,
+            test_per_class: 12,
+            class_sep: 0.75,
+            super_sep: 0.8,
+            noise_std: 1.0,
+            label_noise: 0.04,
+            seed: 0xC1FA_0100,
+        }
+    }
+
+    /// The ImageNet stand-in used for *training* experiments: more classes
+    /// and a slightly larger canvas, still laptop-scale. (The determinism
+    /// cost study uses the full-fidelity 224² descriptors in `nnet::arch`
+    /// instead.)
+    pub fn imagenet_sim() -> Self {
+        Self {
+            classes: 40,
+            superclasses: 8,
+            hw: 16,
+            channels: 3,
+            train_per_class: 24,
+            test_per_class: 10,
+            class_sep: 0.6,
+            super_sep: 0.7,
+            noise_std: 1.0,
+            label_noise: 0.03,
+            seed: 0x1A6E_0001,
+        }
+    }
+
+    /// Total training samples.
+    pub fn train_len(&self) -> usize {
+        self.classes * self.train_per_class
+    }
+
+    /// Total test samples.
+    pub fn test_len(&self) -> usize {
+        self.classes * self.test_per_class
+    }
+
+    /// Generates the dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes`, `superclasses` or image dimensions are zero, or
+    /// `label_noise` is outside `[0, 1]`.
+    pub fn generate(&self) -> SplitDataset {
+        assert!(self.classes > 0 && self.superclasses > 0, "empty class structure");
+        assert!(self.hw > 0 && self.channels > 0, "empty image shape");
+        assert!(
+            (0.0..=1.0).contains(&self.label_noise),
+            "label_noise outside [0, 1]"
+        );
+        let root = Philox::from_seed(self.seed);
+        let dim = self.channels * self.hw * self.hw;
+
+        // Prototypes: spatially *smooth* low-frequency patterns (coarse
+        // noise bilinearly upsampled), so that convolution/pooling preserve
+        // the class signal and shift-crop augmentation perturbs rather than
+        // destroys it — the properties real natural-image classes have.
+        let mut proto_rng = root.stream(StreamId::DATASET.child(0));
+        let mut super_dirs = vec![0f32; self.superclasses * dim];
+        for chunk in super_dirs.chunks_mut(dim) {
+            smooth_field(&mut proto_rng, self.channels, self.hw, chunk);
+        }
+        let mut class_dirs = vec![0f32; self.classes * dim];
+        for chunk in class_dirs.chunks_mut(dim) {
+            smooth_field(&mut proto_rng, self.channels, self.hw, chunk);
+        }
+
+        let mut sample_rng = root.stream(StreamId::DATASET.child(1));
+        let mut label_rng = root.stream(StreamId::DATASET.child(2));
+
+        let mut make_split = |per_class: usize, with_label_noise: bool| -> Dataset {
+            let n = self.classes * per_class;
+            let mut x = vec![0f32; n * dim];
+            let mut labels = Vec::with_capacity(n);
+            for c in 0..self.classes {
+                let sc = c % self.superclasses;
+                for s in 0..per_class {
+                    let row = (c * per_class + s) * dim;
+                    for j in 0..dim {
+                        x[row + j] = self.super_sep * super_dirs[sc * dim + j]
+                            + self.class_sep * class_dirs[c * dim + j]
+                            + self.noise_std * sample_rng.normal();
+                    }
+                    let mut label = c as u32;
+                    if with_label_noise && label_rng.bernoulli(self.label_noise) {
+                        label = label_rng.next_below(self.classes as u32);
+                    }
+                    labels.push(label);
+                }
+            }
+            Dataset::new(
+                Tensor::from_vec(
+                    Shape::of(&[n, self.channels, self.hw, self.hw]),
+                    x,
+                )
+                .expect("dataset shape"),
+                Targets::Classes(labels),
+            )
+        };
+
+        SplitDataset {
+            train: make_split(self.train_per_class, true),
+            test: make_split(self.test_per_class, false),
+            classes: self.classes,
+        }
+    }
+}
+
+/// Fills `out` (`channels × hw × hw`) with a smooth unit-variance random
+/// field: coarse Gaussian grid, bilinearly upsampled per channel.
+fn smooth_field(rng: &mut detrand::StreamRng, channels: usize, hw: usize, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), channels * hw * hw);
+    let grid = (hw / 3).max(2);
+    let mut coarse = vec![0f32; grid * grid];
+    for c in 0..channels {
+        for v in &mut coarse {
+            *v = rng.normal();
+        }
+        let plane = &mut out[c * hw * hw..(c + 1) * hw * hw];
+        let scale = (grid - 1) as f32 / (hw - 1).max(1) as f32;
+        for y in 0..hw {
+            let fy = y as f32 * scale;
+            let (y0, ty) = (fy as usize, fy.fract());
+            let y1 = (y0 + 1).min(grid - 1);
+            for x in 0..hw {
+                let fx = x as f32 * scale;
+                let (x0, tx) = (fx as usize, fx.fract());
+                let x1 = (x0 + 1).min(grid - 1);
+                let top = coarse[y0 * grid + x0] * (1.0 - tx) + coarse[y0 * grid + x1] * tx;
+                let bot = coarse[y1 * grid + x0] * (1.0 - tx) + coarse[y1 * grid + x1] * tx;
+                plane[y * hw + x] = top * (1.0 - ty) + bot * ty;
+            }
+        }
+    }
+}
+
+/// A generated train/test split.
+#[derive(Debug, Clone)]
+pub struct SplitDataset {
+    /// Training split (with label noise if configured).
+    pub train: Dataset,
+    /// Test split (clean labels).
+    pub test: Dataset,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl SplitDataset {
+    /// The test labels (panics if not class-labelled; cannot happen for
+    /// generated splits).
+    pub fn test_labels(&self) -> &[u32] {
+        match &self.test.targets {
+            Targets::Classes(l) => l,
+            Targets::Binary(_) => unreachable!("gaussian datasets are class-labelled"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_spec() {
+        let spec = GaussianSpec::cifar10_sim();
+        let ds = spec.generate();
+        assert_eq!(ds.train.len(), spec.train_len());
+        assert_eq!(ds.test.len(), spec.test_len());
+        assert_eq!(ds.classes, 10);
+        assert_eq!(
+            ds.train.x.shape().dims(),
+            &[spec.train_len(), 3, spec.hw, spec.hw]
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_seed() {
+        let spec = GaussianSpec::cifar10_sim();
+        let a = spec.generate();
+        let b = spec.generate();
+        assert_eq!(a.train.x.as_slice(), b.train.x.as_slice());
+        let mut spec2 = spec;
+        spec2.seed += 1;
+        let c = spec2.generate();
+        assert_ne!(a.train.x.as_slice(), c.train.x.as_slice());
+    }
+
+    #[test]
+    fn test_labels_are_clean_and_balanced() {
+        let spec = GaussianSpec::cifar10_sim();
+        let ds = spec.generate();
+        let labels = ds.test_labels();
+        for c in 0..10u32 {
+            let count = labels.iter().filter(|&&l| l == c).count();
+            assert_eq!(count, spec.test_per_class);
+        }
+        // Clean test labels are exactly class-ordered.
+        assert_eq!(labels[0], 0);
+        assert_eq!(labels[spec.test_per_class], 1);
+    }
+
+    #[test]
+    fn label_noise_flips_some_training_labels() {
+        let spec = GaussianSpec {
+            label_noise: 0.3,
+            ..GaussianSpec::cifar10_sim()
+        };
+        let ds = spec.generate();
+        let labels = match &ds.train.targets {
+            Targets::Classes(l) => l,
+            _ => unreachable!(),
+        };
+        // With clean labels sample i has class i / per_class.
+        let flipped = labels
+            .iter()
+            .enumerate()
+            .filter(|(i, &l)| l != (i / spec.train_per_class) as u32)
+            .count();
+        let frac = flipped as f64 / labels.len() as f64;
+        // ~0.3 × (1 − 1/10) expected visible flips.
+        assert!((0.15..0.40).contains(&frac), "flip fraction {frac}");
+    }
+
+    #[test]
+    fn superclass_members_are_closer_than_strangers() {
+        let spec = GaussianSpec::cifar100_sim();
+        let ds = spec.generate();
+        let dim = 3 * spec.hw * spec.hw;
+        // Class prototypes approximated by the mean test image per class.
+        let mut protos = vec![vec![0f64; dim]; spec.classes];
+        for c in 0..spec.classes {
+            for s in 0..spec.test_per_class {
+                let row = (c * spec.test_per_class + s) * dim;
+                for j in 0..dim {
+                    protos[c][j] += ds.test.x.as_slice()[row + j] as f64;
+                }
+            }
+            for v in &mut protos[c] {
+                *v /= spec.test_per_class as f64;
+            }
+        }
+        let dist = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f64>().sqrt()
+        };
+        // Class 0 and 20 share superclass 0; class 0 and 1 do not.
+        let same_super = dist(&protos[0], &protos[20]);
+        let diff_super = dist(&protos[0], &protos[1]);
+        assert!(
+            same_super < diff_super,
+            "same-superclass distance {same_super} !< cross {diff_super}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "label_noise outside")]
+    fn bad_label_noise_rejected() {
+        GaussianSpec {
+            label_noise: 1.5,
+            ..GaussianSpec::cifar10_sim()
+        }
+        .generate();
+    }
+}

@@ -1,0 +1,32 @@
+//! Synthetic dataset generators for the NoiseScope study.
+//!
+//! The original experiments use CIFAR-10/100, ImageNet and CelebA. The
+//! stability metrics the paper reports (churn, per-class variance,
+//! subgroup variance) depend on three dataset properties — class structure,
+//! class overlap (ambiguous boundary examples), and subgroup
+//! representation — all of which these generators control *explicitly*:
+//!
+//! - [`gaussian`] builds image-shaped hierarchical Gaussian-cluster
+//!   datasets: each class has a prototype image, samples are noisy
+//!   perturbations, and (for the CIFAR-100 stand-in) classes cluster into
+//!   superclasses whose members overlap heavily.
+//! - [`celeba`] builds an attribute-prediction dataset with two protected
+//!   binary dimensions (Male/Female, Young/Old) whose positive/negative
+//!   imbalance matches the paper's Table 3 proportions.
+//! - [`augment`] provides the stochastic shift-crop / horizontal-flip
+//!   augmentation of the paper's training methodology (Appendix B).
+//!
+//! Generation is driven by a dedicated seed (independent of any training
+//! run's algorithmic seed), so the dataset is a fixed artifact shared by
+//! every replica — like the real CIFAR on disk.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod augment;
+pub mod celeba;
+pub mod gaussian;
+
+pub use augment::ShiftFlip;
+pub use celeba::{CelebaData, CelebaMeta, CelebaSpec, SubgroupCounts};
+pub use gaussian::{GaussianSpec, SplitDataset};

@@ -1,0 +1,178 @@
+//! The kernel autotuner.
+//!
+//! Mirrors cuDNN's `cudnnFindConvolutionForwardAlgorithm`: for each pass of
+//! each convolution, pick the fastest *admissible* algorithm. In
+//! [`ExecutionMode::Deterministic`] admissibility excludes nondeterministic
+//! algorithms — the restriction whose cost the paper quantifies.
+
+use crate::cost::CostModel;
+use crate::device::{Architecture, Device};
+use crate::exec::ExecutionMode;
+use crate::kernels::{kernel_name, ConvAlgorithm, ConvPass, KernelChoice};
+use nstensor::ConvGeometry;
+use serde::{Deserialize, Serialize};
+
+/// The kernels selected for the three passes of one convolution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConvKernelPlan {
+    /// Forward kernel.
+    pub forward: KernelChoice,
+    /// Input-gradient kernel.
+    pub input_grad: KernelChoice,
+    /// Weight-gradient kernel.
+    pub weight_grad: KernelChoice,
+}
+
+impl ConvKernelPlan {
+    /// Total simulated time of one fwd+bwd execution, in seconds.
+    pub fn total_time_s(&self) -> f64 {
+        self.forward.time_s + self.input_grad.time_s + self.weight_grad.time_s
+    }
+
+    /// Whether every selected kernel is deterministic.
+    pub fn is_deterministic(&self) -> bool {
+        self.forward.algorithm.is_deterministic()
+            && self.input_grad.algorithm.is_deterministic()
+            && self.weight_grad.algorithm.is_deterministic()
+    }
+
+    /// The three choices in pass order.
+    pub fn choices(&self) -> [&KernelChoice; 3] {
+        [&self.forward, &self.input_grad, &self.weight_grad]
+    }
+}
+
+/// Short architecture tag used in kernel names.
+fn arch_tag(arch: Architecture) -> &'static str {
+    match arch {
+        Architecture::Pascal => "pascal",
+        Architecture::Volta => "volta",
+        Architecture::Turing => "turing",
+        Architecture::TpuV2 => "tpu",
+        Architecture::Cpu => "cpu",
+    }
+}
+
+/// Selects the fastest admissible kernel for every pass of a convolution.
+///
+/// # Panics
+///
+/// Never panics for valid geometries: a deterministic fallback exists for
+/// every pass (guaranteed by the kernel registry tests).
+pub fn select_conv_kernels(
+    geom: &ConvGeometry,
+    batch: usize,
+    device: &Device,
+    mode: ExecutionMode,
+) -> ConvKernelPlan {
+    let model = CostModel::for_device(device);
+    let pick = |pass: ConvPass| -> KernelChoice {
+        let mut best: Option<KernelChoice> = None;
+        for alg in ConvAlgorithm::ALL {
+            if !alg.supports(pass, geom) {
+                continue;
+            }
+            if mode == ExecutionMode::Deterministic && !alg.is_deterministic() {
+                continue;
+            }
+            let time_s = model.conv_pass_time(alg, pass, geom, batch);
+            let better = best.as_ref().is_none_or(|b| time_s < b.time_s);
+            if better {
+                best = Some(KernelChoice {
+                    algorithm: alg,
+                    pass,
+                    time_s,
+                    name: kernel_name(arch_tag(device.arch()), alg, pass, geom),
+                });
+            }
+        }
+        best.expect("registry guarantees at least one admissible kernel per pass")
+    };
+    ConvKernelPlan {
+        forward: pick(ConvPass::Forward),
+        input_grad: pick(ConvPass::InputGrad),
+        weight_grad: pick(ConvPass::WeightGrad),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom(k: usize) -> ConvGeometry {
+        ConvGeometry::new(32, 64, k, 1, k / 2, 28, 28)
+    }
+
+    #[test]
+    fn default_mode_picks_winograd_for_3x3() {
+        let plan = select_conv_kernels(&geom(3), 32, &Device::v100(), ExecutionMode::Default);
+        assert_eq!(plan.forward.algorithm, ConvAlgorithm::WinogradNonfused);
+        assert!(!plan.is_deterministic());
+    }
+
+    #[test]
+    fn default_mode_picks_fft_for_large_filters() {
+        let plan = select_conv_kernels(&geom(7), 32, &Device::v100(), ExecutionMode::Default);
+        assert_eq!(plan.forward.algorithm, ConvAlgorithm::FftTiling);
+    }
+
+    #[test]
+    fn deterministic_mode_selects_only_deterministic_kernels() {
+        for k in [1, 3, 5, 7] {
+            for d in [Device::p100(), Device::v100(), Device::t4()] {
+                let plan = select_conv_kernels(&geom(k), 32, &d, ExecutionMode::Deterministic);
+                assert!(plan.is_deterministic(), "k={k} on {}", d.name());
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_mode_is_never_faster() {
+        for k in [1, 3, 5, 7] {
+            for d in [Device::p100(), Device::v100(), Device::t4()] {
+                let nd = select_conv_kernels(&geom(k), 32, &d, ExecutionMode::Default);
+                let det = select_conv_kernels(&geom(k), 32, &d, ExecutionMode::Deterministic);
+                assert!(
+                    det.total_time_s() >= nd.total_time_s(),
+                    "k={k} on {}",
+                    d.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overhead_grows_with_filter_size() {
+        for d in [Device::p100(), Device::v100(), Device::t4()] {
+            let mut prev = 0.0f64;
+            for k in [1, 3, 5, 7] {
+                let nd = select_conv_kernels(&geom(k), 32, &d, ExecutionMode::Default);
+                let det = select_conv_kernels(&geom(k), 32, &d, ExecutionMode::Deterministic);
+                let ratio = det.total_time_s() / nd.total_time_s();
+                assert!(
+                    ratio >= prev * 0.999,
+                    "{}: ratio not monotone at k={k}: {ratio} < {prev}",
+                    d.name()
+                );
+                prev = ratio;
+            }
+        }
+    }
+
+    #[test]
+    fn wgrad_never_selects_transform_algorithms() {
+        for k in [3, 5, 7] {
+            let plan = select_conv_kernels(&geom(k), 32, &Device::v100(), ExecutionMode::Default);
+            assert!(matches!(
+                plan.weight_grad.algorithm,
+                ConvAlgorithm::ImplicitGemmAtomic
+            ));
+        }
+    }
+
+    #[test]
+    fn kernel_names_carry_arch_tag() {
+        let plan = select_conv_kernels(&geom(3), 32, &Device::p100(), ExecutionMode::Default);
+        assert!(plan.forward.name.starts_with("pascal_"));
+    }
+}

@@ -1,0 +1,245 @@
+//! Execution contexts: the bridge from a (device, mode) pair to the
+//! accumulation order of every reduction class in a training run.
+
+use crate::device::{Architecture, Device};
+use detrand::SplitMix64;
+use nstensor::{ReduceOrder, Reducer};
+use serde::{Deserialize, Serialize};
+
+/// Framework-level execution mode — the paper's "TF deterministic ops"
+/// switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExecutionMode {
+    /// Fastest available kernels; nondeterministic on GPUs.
+    Default,
+    /// Only deterministic kernels (the software patches the paper measures
+    /// the cost of).
+    Deterministic,
+}
+
+/// Classes of reduction in a training step, distinguished because hardware
+/// routes them differently (e.g. Tensor Cores run matmuls on systolic units
+/// but fall back to CUDA cores for gradient and statistics accumulations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Forward matmul/conv inner products.
+    MatmulForward,
+    /// Input-gradient (dgrad) accumulations.
+    InputGrad,
+    /// Weight-gradient (wgrad) accumulations — reductions across the batch.
+    WeightGrad,
+    /// Batch statistics (batch-norm mean/variance).
+    Statistics,
+    /// Bias sums and other miscellaneous accumulations.
+    Misc,
+}
+
+impl OpClass {
+    /// All classes, in a stable order.
+    pub const ALL: [OpClass; 5] = [
+        OpClass::MatmulForward,
+        OpClass::InputGrad,
+        OpClass::WeightGrad,
+        OpClass::Statistics,
+        OpClass::Misc,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            OpClass::MatmulForward => 0,
+            OpClass::InputGrad => 1,
+            OpClass::WeightGrad => 2,
+            OpClass::Statistics => 3,
+            OpClass::Misc => 4,
+        }
+    }
+
+    /// Whether this class runs on systolic units when the device has them.
+    fn is_matmul_class(self) -> bool {
+        matches!(self, OpClass::MatmulForward | OpClass::InputGrad)
+    }
+}
+
+/// The execution state of one simulated run: a reducer per op class, wired
+/// to the device's accumulation semantics and (for nondeterministic
+/// execution) to the run's scheduler entropy.
+///
+/// See the [crate-level docs](crate) for an example.
+#[derive(Debug, Clone)]
+pub struct ExecutionContext {
+    device: Device,
+    mode: ExecutionMode,
+    reducers: [Reducer; 5],
+}
+
+impl ExecutionContext {
+    /// Creates a context for `device` in `mode`.
+    ///
+    /// `entropy` seeds the scheduler RNG. It is only consumed when the
+    /// device/mode combination is nondeterministic; deterministic execution
+    /// produces bitwise-identical results for any entropy.
+    pub fn new(device: Device, mode: ExecutionMode, entropy: u64) -> Self {
+        Self::with_amplification(device, mode, entropy, 0.0)
+    }
+
+    /// Creates a context with the amplified-noise tier enabled
+    /// (see [`nstensor::Reducer::with_amplification`]): `amp_ulps` models
+    /// the longer accumulation chains of full-scale workloads. Ignored by
+    /// deterministic execution.
+    pub fn with_amplification(
+        device: Device,
+        mode: ExecutionMode,
+        entropy: u64,
+        amp_ulps: f32,
+    ) -> Self {
+        let mut seeder = SplitMix64::new(entropy);
+        let reducers = core::array::from_fn(|i| {
+            let class = OpClass::ALL[i];
+            let order = Self::order_for(&device, mode, class);
+            let lanes = device.lanes();
+            let seed = seeder.next_u64();
+            Reducer::new(order, lanes, seed).with_amplification(amp_ulps)
+        });
+        Self {
+            device,
+            mode,
+            reducers,
+        }
+    }
+
+    /// The accumulation order a given op class uses on this device/mode.
+    pub fn order_for(device: &Device, mode: ExecutionMode, class: OpClass) -> ReduceOrder {
+        if device.arch() == Architecture::Cpu {
+            return ReduceOrder::Sequential;
+        }
+        if device.deterministic_by_design() || mode == ExecutionMode::Deterministic {
+            return ReduceOrder::FixedTree;
+        }
+        if device.systolic_matmul() && class.is_matmul_class() {
+            // Tensor Cores: fixed-order systolic accumulation for matmuls...
+            ReduceOrder::FixedTree
+        } else {
+            // ...but everything else still lands on CUDA cores.
+            ReduceOrder::Permuted
+        }
+    }
+
+    /// The reducer for an op class.
+    pub fn reducer(&mut self, class: OpClass) -> &mut Reducer {
+        &mut self.reducers[class.index()]
+    }
+
+    /// The device.
+    pub fn device(&self) -> Device {
+        self.device
+    }
+
+    /// The execution mode.
+    pub fn mode(&self) -> ExecutionMode {
+        self.mode
+    }
+
+    /// Whether any op class in this context is nondeterministic.
+    pub fn is_nondeterministic(&self) -> bool {
+        self.reducers
+            .iter()
+            .any(|r| !r.order().is_deterministic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_is_sequential_everywhere() {
+        for class in OpClass::ALL {
+            assert_eq!(
+                ExecutionContext::order_for(&Device::cpu(), ExecutionMode::Default, class),
+                ReduceOrder::Sequential
+            );
+        }
+    }
+
+    #[test]
+    fn gpu_default_mode_is_permuted_everywhere() {
+        for class in OpClass::ALL {
+            assert_eq!(
+                ExecutionContext::order_for(&Device::v100(), ExecutionMode::Default, class),
+                ReduceOrder::Permuted
+            );
+        }
+    }
+
+    #[test]
+    fn gpu_deterministic_mode_is_fixed_everywhere() {
+        for class in OpClass::ALL {
+            assert_eq!(
+                ExecutionContext::order_for(&Device::p100(), ExecutionMode::Deterministic, class),
+                ReduceOrder::FixedTree
+            );
+        }
+    }
+
+    #[test]
+    fn tensor_cores_split_by_class() {
+        let d = Device::rtx5000_tensor_cores();
+        assert_eq!(
+            ExecutionContext::order_for(&d, ExecutionMode::Default, OpClass::MatmulForward),
+            ReduceOrder::FixedTree
+        );
+        assert_eq!(
+            ExecutionContext::order_for(&d, ExecutionMode::Default, OpClass::WeightGrad),
+            ReduceOrder::Permuted
+        );
+        assert_eq!(
+            ExecutionContext::order_for(&d, ExecutionMode::Default, OpClass::Statistics),
+            ReduceOrder::Permuted
+        );
+        // So TC execution is still nondeterministic overall:
+        let ctx = ExecutionContext::new(d, ExecutionMode::Default, 5);
+        assert!(ctx.is_nondeterministic());
+    }
+
+    #[test]
+    fn tpu_is_deterministic_in_default_mode() {
+        let ctx = ExecutionContext::new(Device::tpu_v2(), ExecutionMode::Default, 5);
+        assert!(!ctx.is_nondeterministic());
+    }
+
+    #[test]
+    fn deterministic_mode_ignores_entropy() {
+        let xs: Vec<f32> = (0..500).map(|i| (i as f32 * 0.7).sin()).collect();
+        let mut a = ExecutionContext::new(Device::v100(), ExecutionMode::Deterministic, 111);
+        let mut b = ExecutionContext::new(Device::v100(), ExecutionMode::Deterministic, 222);
+        for class in OpClass::ALL {
+            assert_eq!(
+                a.reducer(class).sum(&xs).to_bits(),
+                b.reducer(class).sum(&xs).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn default_mode_entropy_changes_results_eventually() {
+        let xs: Vec<f32> = (0..2000).map(|i| (i as f32 * 0.7).sin()).collect();
+        let mut a = ExecutionContext::new(Device::v100(), ExecutionMode::Default, 111);
+        let mut b = ExecutionContext::new(Device::v100(), ExecutionMode::Default, 222);
+        let mut any_diff = false;
+        for _ in 0..64 {
+            if a.reducer(OpClass::WeightGrad).sum(&xs).to_bits()
+                != b.reducer(OpClass::WeightGrad).sum(&xs).to_bits()
+            {
+                any_diff = true;
+                break;
+            }
+        }
+        assert!(any_diff, "different entropy never changed a GPU reduction");
+    }
+
+    #[test]
+    fn reducers_use_device_lanes() {
+        let mut ctx = ExecutionContext::new(Device::t4(), ExecutionMode::Default, 0);
+        assert_eq!(ctx.reducer(OpClass::Misc).lanes(), Device::t4().lanes());
+    }
+}

@@ -1,0 +1,289 @@
+//! The simulated kernel profiler (the reproduction's `nvprof`).
+//!
+//! Executes a workload's *cost model* — no tensors move — accumulating
+//! simulated GPU time per kernel name across training steps. Regenerates
+//! the paper's Figure 7 (top-20 kernel cumulative runtime, deterministic
+//! vs. default) and Figure 8 (determinism overhead across models, GPUs and
+//! filter sizes).
+
+use crate::autotune::select_conv_kernels;
+use crate::cost::CostModel;
+use crate::device::Device;
+use crate::exec::ExecutionMode;
+use crate::workload::WorkloadOp;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Aggregated time of one kernel across a profiled run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelRecord {
+    /// Kernel display name.
+    pub name: String,
+    /// Number of invocations.
+    pub invocations: u64,
+    /// Cumulative simulated time, in seconds.
+    pub total_time_s: f64,
+}
+
+/// The profile of a workload: per-kernel aggregated simulated GPU time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelProfile {
+    device: String,
+    mode: ExecutionMode,
+    steps: u64,
+    records: Vec<KernelRecord>,
+}
+
+impl KernelProfile {
+    /// The device name this profile was captured on.
+    pub fn device(&self) -> &str {
+        &self.device
+    }
+
+    /// The execution mode.
+    pub fn mode(&self) -> ExecutionMode {
+        self.mode
+    }
+
+    /// Number of training steps profiled.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// All kernel records, sorted by descending cumulative time.
+    pub fn records(&self) -> &[KernelRecord] {
+        &self.records
+    }
+
+    /// The `n` most expensive kernels.
+    pub fn top_k(&self, n: usize) -> &[KernelRecord] {
+        &self.records[..n.min(self.records.len())]
+    }
+
+    /// Total simulated GPU time across all kernels, in seconds.
+    pub fn total_time_s(&self) -> f64 {
+        self.records.iter().map(|r| r.total_time_s).sum()
+    }
+
+    /// Number of distinct kernels scheduled.
+    pub fn distinct_kernels(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Fraction of total time spent in the single hottest kernel — a
+    /// measure of how skewed the time allocation is (the paper observes
+    /// deterministic mode concentrating time in fewer kernels).
+    pub fn top1_share(&self) -> f64 {
+        let total = self.total_time_s();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.records.first().map_or(0.0, |r| r.total_time_s / total)
+    }
+
+    /// Number of distinct convolution algorithm families scheduled
+    /// (winograd, fft, atomic GEMM, ...). Deterministic mode is restricted
+    /// to a narrower set — the mechanism behind the paper's Figure 7.
+    pub fn conv_algorithm_families(&self) -> usize {
+        let mut fams: Vec<&str> = self
+            .records
+            .iter()
+            .filter_map(|r| {
+                let rest = r.name.split("_scudnn_").nth(1)?;
+                // Family = algorithm tag up to the pass tag.
+                let end = ["_fprop", "_dgrad", "_wgrad"]
+                    .iter()
+                    .filter_map(|t| rest.find(t))
+                    .min()?;
+                Some(&rest[..end])
+            })
+            .collect();
+        fams.sort_unstable();
+        fams.dedup();
+        fams.len()
+    }
+}
+
+/// Profiles `steps` training steps of a workload on a device in a mode.
+///
+/// Every op contributes its forward pass; convs and dense layers also
+/// contribute dgrad and wgrad kernels (one training step = fwd + bwd).
+///
+/// # Example
+///
+/// ```
+/// use hwsim::{profile_workload, Device, ExecutionMode, WorkloadOp};
+/// use nstensor::ConvGeometry;
+///
+/// let ops = [WorkloadOp::Conv {
+///     geom: ConvGeometry::new(16, 32, 3, 1, 1, 28, 28),
+///     batch: 8,
+/// }];
+/// let nd = profile_workload(&ops, &Device::p100(), ExecutionMode::Default, 10);
+/// let det = profile_workload(&ops, &Device::p100(), ExecutionMode::Deterministic, 10);
+/// // Determinism costs simulated GPU time:
+/// assert!(det.total_time_s() > nd.total_time_s());
+/// ```
+pub fn profile_workload(
+    ops: &[WorkloadOp],
+    device: &Device,
+    mode: ExecutionMode,
+    steps: u64,
+) -> KernelProfile {
+    let model = CostModel::for_device(device);
+    let deterministic = mode == ExecutionMode::Deterministic;
+    let mut agg: HashMap<String, KernelRecord> = HashMap::new();
+    let mut add = |name: String, time_s: f64| {
+        let e = agg.entry(name.clone()).or_insert(KernelRecord {
+            name,
+            invocations: 0,
+            total_time_s: 0.0,
+        });
+        e.invocations += steps;
+        e.total_time_s += time_s * steps as f64;
+    };
+
+    for op in ops {
+        match *op {
+            WorkloadOp::Conv { geom, batch } => {
+                let plan = select_conv_kernels(&geom, batch, device, mode);
+                for choice in plan.choices() {
+                    add(choice.name.clone(), choice.time_s);
+                }
+            }
+            WorkloadOp::Dense {
+                batch,
+                in_features,
+                out_features,
+            } => {
+                let t = model.misc_op_time(op, deterministic);
+                let det_tag = if deterministic { "seq" } else { "splitk" };
+                // fwd, dgrad, wgrad GEMMs.
+                add(
+                    format!("sgemm_{det_tag}_nn_{in_features}x{out_features}"),
+                    t,
+                );
+                add(
+                    format!("sgemm_{det_tag}_nt_{out_features}x{in_features}"),
+                    t,
+                );
+                add(
+                    format!("sgemm_{det_tag}_tn_{in_features}x{out_features}_b{batch}"),
+                    t,
+                );
+            }
+            WorkloadOp::BatchNorm { elems } => {
+                let t = model.misc_op_time(op, deterministic);
+                let det_tag = if deterministic { "det" } else { "atomic" };
+                add(format!("bn_fw_stats_{det_tag}"), t);
+                add(format!("bn_bw_reduce_{det_tag}"), t * elems.clamp(1, 2) as f64 / 2.0);
+            }
+            WorkloadOp::Pool { .. } => {
+                let t = model.misc_op_time(op, deterministic);
+                add("pooling_fw".to_string(), t);
+                add("pooling_bw".to_string(), t);
+            }
+            WorkloadOp::Activation { .. } => {
+                let t = model.misc_op_time(op, deterministic);
+                add("relu_fw_bw_fused".to_string(), 2.0 * t);
+            }
+        }
+    }
+
+    let mut records: Vec<KernelRecord> = agg.into_values().collect();
+    records.sort_by(|a, b| b.total_time_s.total_cmp(&a.total_time_s));
+    KernelProfile {
+        device: device.name().to_string(),
+        mode,
+        steps,
+        records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nstensor::ConvGeometry;
+
+    fn tiny_workload() -> Vec<WorkloadOp> {
+        vec![
+            WorkloadOp::Conv {
+                geom: ConvGeometry::new(3, 16, 3, 1, 1, 32, 32),
+                batch: 8,
+            },
+            WorkloadOp::BatchNorm { elems: 16 * 32 * 32 * 8 },
+            WorkloadOp::Activation { elems: 16 * 32 * 32 * 8 },
+            WorkloadOp::Conv {
+                geom: ConvGeometry::new(16, 32, 3, 1, 1, 16, 16),
+                batch: 8,
+            },
+            WorkloadOp::Dense {
+                batch: 8,
+                in_features: 32,
+                out_features: 10,
+            },
+        ]
+    }
+
+    #[test]
+    fn profile_accumulates_over_steps() {
+        let ops = tiny_workload();
+        let p1 = profile_workload(&ops, &Device::v100(), ExecutionMode::Default, 1);
+        let p100 = profile_workload(&ops, &Device::v100(), ExecutionMode::Default, 100);
+        assert!((p100.total_time_s() / p1.total_time_s() - 100.0).abs() < 1e-6);
+        assert_eq!(p100.steps(), 100);
+    }
+
+    #[test]
+    fn deterministic_mode_costs_more() {
+        let ops = tiny_workload();
+        let nd = profile_workload(&ops, &Device::p100(), ExecutionMode::Default, 10);
+        let det = profile_workload(&ops, &Device::p100(), ExecutionMode::Deterministic, 10);
+        assert!(det.total_time_s() > nd.total_time_s());
+    }
+
+    #[test]
+    fn deterministic_mode_uses_fewer_distinct_conv_kernels() {
+        // With both winograd-eligible and fft-eligible convs, default mode
+        // spreads across more algorithms.
+        let ops = vec![
+            WorkloadOp::Conv {
+                geom: ConvGeometry::new(16, 32, 3, 1, 1, 28, 28),
+                batch: 8,
+            },
+            WorkloadOp::Conv {
+                geom: ConvGeometry::new(16, 32, 5, 1, 2, 28, 28),
+                batch: 8,
+            },
+            WorkloadOp::Conv {
+                geom: ConvGeometry::new(16, 32, 1, 1, 0, 28, 28),
+                batch: 8,
+            },
+        ];
+        let nd = profile_workload(&ops, &Device::v100(), ExecutionMode::Default, 1);
+        let det = profile_workload(&ops, &Device::v100(), ExecutionMode::Deterministic, 1);
+        assert!(det.distinct_kernels() <= nd.distinct_kernels());
+        // Deterministic mode is confined to a narrower algorithm menu.
+        assert!(det.conv_algorithm_families() < nd.conv_algorithm_families());
+        assert!(nd.conv_algorithm_families() >= 3); // winograd + fft + atomic
+    }
+
+    #[test]
+    fn records_sorted_descending() {
+        let p = profile_workload(&tiny_workload(), &Device::t4(), ExecutionMode::Default, 5);
+        let times: Vec<f64> = p.records().iter().map(|r| r.total_time_s).collect();
+        for w in times.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert!(p.top_k(3).len() <= 3);
+        assert!(p.top1_share() > 0.0 && p.top1_share() <= 1.0);
+    }
+
+    #[test]
+    fn empty_workload_is_empty_profile() {
+        let p = profile_workload(&[], &Device::v100(), ExecutionMode::Default, 10);
+        assert_eq!(p.total_time_s(), 0.0);
+        assert_eq!(p.distinct_kernels(), 0);
+        assert_eq!(p.top1_share(), 0.0);
+    }
+}

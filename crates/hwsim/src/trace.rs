@@ -1,0 +1,137 @@
+//! Chrome-trace export of kernel profiles.
+//!
+//! Serializes a [`KernelProfile`] into the Chrome Trace Event Format
+//! (`chrome://tracing`, Perfetto), laying the kernels out on a simulated
+//! timeline: one lane per kernel name, one complete event per invocation
+//! with its average duration. This is the visual counterpart of the
+//! paper's Figure 7 — load the default-mode and deterministic-mode traces
+//! side by side to *see* the narrower, slower kernel schedule.
+
+use crate::profiler::KernelProfile;
+use serde::Serialize;
+
+/// One Chrome trace event (the `X` complete-event form).
+#[derive(Debug, Clone, Serialize)]
+struct TraceEvent {
+    name: String,
+    /// Category.
+    cat: &'static str,
+    /// Phase: `X` = complete event.
+    ph: &'static str,
+    /// Timestamp, microseconds.
+    ts: f64,
+    /// Duration, microseconds.
+    dur: f64,
+    /// Process id (one per profile).
+    pid: u32,
+    /// Thread id (one lane per kernel).
+    tid: u32,
+}
+
+/// Renders a kernel profile as a Chrome Trace Event Format JSON string.
+///
+/// Each kernel occupies its own lane (`tid`); its invocations are laid out
+/// back-to-back at the kernel's mean duration. `max_events` bounds the
+/// output size (events beyond it are dropped lane-by-lane, never
+/// mid-lane).
+///
+/// # Example
+///
+/// ```
+/// use hwsim::{profile_workload, trace, Device, ExecutionMode, WorkloadOp};
+/// use nstensor::ConvGeometry;
+///
+/// let ops = [WorkloadOp::Conv {
+///     geom: ConvGeometry::new(3, 8, 3, 1, 1, 16, 16),
+///     batch: 4,
+/// }];
+/// let profile = profile_workload(&ops, &Device::v100(), ExecutionMode::Default, 3);
+/// let json = trace::to_chrome_trace(&profile, 100);
+/// assert!(json.contains("traceEvents"));
+/// ```
+pub fn to_chrome_trace(profile: &KernelProfile, max_events: usize) -> String {
+    let mut events: Vec<TraceEvent> = Vec::new();
+    let pid = 1u32;
+    for (lane, record) in profile.records().iter().enumerate() {
+        if record.invocations == 0 {
+            continue;
+        }
+        let mean_dur_us = record.total_time_s * 1e6 / record.invocations as f64;
+        let remaining = max_events.saturating_sub(events.len());
+        if remaining == 0 {
+            break;
+        }
+        let n = (record.invocations as usize).min(remaining);
+        for i in 0..n {
+            events.push(TraceEvent {
+                name: record.name.clone(),
+                cat: "kernel",
+                ph: "X",
+                ts: i as f64 * mean_dur_us,
+                dur: mean_dur_us,
+                pid,
+                tid: lane as u32,
+            });
+        }
+    }
+    let body = serde_json::json!({
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "device": profile.device(),
+            "mode": format!("{:?}", profile.mode()),
+            "steps": profile.steps(),
+            "total_simulated_s": profile.total_time_s(),
+        }
+    });
+    serde_json::to_string_pretty(&body).expect("trace serialization")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+    use crate::exec::ExecutionMode;
+    use crate::profiler::profile_workload;
+    use crate::workload::WorkloadOp;
+    use nstensor::ConvGeometry;
+
+    fn profile(steps: u64) -> KernelProfile {
+        let ops = [
+            WorkloadOp::Conv {
+                geom: ConvGeometry::new(3, 8, 3, 1, 1, 16, 16),
+                batch: 4,
+            },
+            WorkloadOp::Activation { elems: 1024 },
+        ];
+        profile_workload(&ops, &Device::v100(), ExecutionMode::Default, steps)
+    }
+
+    #[test]
+    fn trace_is_valid_json_with_events() {
+        let json = to_chrome_trace(&profile(2), 1000);
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let events = parsed["traceEvents"].as_array().unwrap();
+        assert!(!events.is_empty());
+        for e in events {
+            assert_eq!(e["ph"], "X");
+            assert!(e["dur"].as_f64().unwrap() > 0.0);
+        }
+        assert_eq!(parsed["otherData"]["device"], "V100");
+    }
+
+    #[test]
+    fn event_cap_is_respected() {
+        let json = to_chrome_trace(&profile(50), 7);
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert!(parsed["traceEvents"].as_array().unwrap().len() <= 7);
+    }
+
+    #[test]
+    fn empty_profile_yields_empty_trace() {
+        let p = profile_workload(&[], &Device::t4(), ExecutionMode::Deterministic, 1);
+        let json = to_chrome_trace(&p, 10);
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert!(parsed["traceEvents"].as_array().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,138 @@
+//! Replica-divergence metrics: churn and weight-space distance.
+
+/// Predictive churn between two models' predictions (Milani Fard et al.,
+/// 2016; paper Eq. 2): the fraction of examples on which they disagree.
+///
+/// # Panics
+///
+/// Panics if the prediction vectors have different lengths.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(nsmetrics::churn(&[1, 2, 3], &[1, 0, 3]), 1.0 / 3.0);
+/// ```
+pub fn churn<T: PartialEq>(a: &[T], b: &[T]) -> f64 {
+    assert_eq!(a.len(), b.len(), "prediction length mismatch");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let disagreements = a.iter().zip(b).filter(|(x, y)| x != y).count();
+    disagreements as f64 / a.len() as f64
+}
+
+/// L2 distance between two weight vectors after normalizing each to unit
+/// norm (the paper's `l2` measure, §2.1).
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn l2_normalized(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "weight length mismatch");
+    let na = a.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt();
+    let nb = b.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        // A zero vector has no direction; distance to the other unit vector.
+        return if na == nb { 0.0 } else { 1.0 };
+    }
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = x as f64 / na - y as f64 / nb;
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Mean churn over all unordered replica pairs.
+pub fn pairwise_mean_churn<T: PartialEq>(replica_preds: &[Vec<T>]) -> f64 {
+    pairwise_mean(replica_preds, |a, b| churn(a, b))
+}
+
+/// Mean normalized-L2 weight distance over all unordered replica pairs.
+pub fn pairwise_mean_l2(replica_weights: &[Vec<f32>]) -> f64 {
+    pairwise_mean(replica_weights, l2_normalized)
+}
+
+fn pairwise_mean<T>(items: &[Vec<T>], f: impl Fn(&[T], &[T]) -> f64) -> f64 {
+    let n = items.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            sum += f(&items[i], &items[j]);
+            pairs += 1;
+        }
+    }
+    sum / pairs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn churn_is_zero_for_identical() {
+        assert_eq!(churn::<u32>(&[], &[]), 0.0);
+        assert_eq!(churn(&[1, 2, 3], &[1, 2, 3]), 0.0);
+    }
+
+    #[test]
+    fn churn_is_symmetric_and_bounded() {
+        let a = [1u32, 2, 3, 4];
+        let b = [1u32, 0, 0, 4];
+        assert_eq!(churn(&a, &b), churn(&b, &a));
+        assert_eq!(churn(&a, &b), 0.5);
+        assert_eq!(churn(&a, &[0, 0, 0, 0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn churn_rejects_length_mismatch() {
+        churn(&[1], &[1, 2]);
+    }
+
+    #[test]
+    fn l2_of_identical_is_zero() {
+        let w = vec![1.0f32, -2.0, 3.0];
+        assert_eq!(l2_normalized(&w, &w), 0.0);
+    }
+
+    #[test]
+    fn l2_is_scale_invariant() {
+        let a = vec![1.0f32, 2.0, 3.0];
+        let b: Vec<f32> = a.iter().map(|x| x * 7.5).collect();
+        assert!(l2_normalized(&a, &b) < 1e-7, "scaled copies should coincide");
+    }
+
+    #[test]
+    fn l2_of_opposite_unit_vectors_is_two() {
+        let a = vec![1.0f32, 0.0];
+        let b = vec![-1.0f32, 0.0];
+        assert!((l2_normalized(&a, &b) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l2_handles_zero_vectors() {
+        let z = vec![0.0f32; 3];
+        let a = vec![1.0f32, 0.0, 0.0];
+        assert_eq!(l2_normalized(&z, &z), 0.0);
+        assert_eq!(l2_normalized(&z, &a), 1.0);
+    }
+
+    #[test]
+    fn pairwise_means() {
+        let preds = vec![vec![1u32, 1], vec![1, 0], vec![0, 0]];
+        // Pairs: (0,1) churn .5, (0,2) churn 1.0, (1,2) churn .5 → mean 2/3.
+        assert!((pairwise_mean_churn(&preds) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(pairwise_mean_churn::<u32>(&[]), 0.0);
+        assert_eq!(pairwise_mean_churn(&[vec![1u32]]), 0.0);
+
+        let ws = vec![vec![1.0f32, 0.0], vec![1.0f32, 0.0]];
+        assert_eq!(pairwise_mean_l2(&ws), 0.0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Basic statistics used by the stability reports.
+
+/// Arithmetic mean (0 for an empty slice).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (Bessel-corrected; 0 for fewer than two
+/// values) — the paper's `stddev` across independently trained replicas.
+///
+/// # Example
+///
+/// ```
+/// let accs = [0.62, 0.63, 0.61, 0.62];
+/// assert!(nsmetrics::stddev(&accs) < 0.01);
+/// ```
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// `value / baseline` with the paper's Table-5 convention: 0 baselines map
+/// to 0 (reported as "—" rather than ∞).
+pub fn relative_scale(value: f64, baseline: f64) -> f64 {
+    if baseline == 0.0 {
+        0.0
+    } else {
+        value / baseline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_reference() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0]), 2.0);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn stddev_reference() {
+        assert_eq!(stddev(&[]), 0.0);
+        assert_eq!(stddev(&[5.0]), 0.0);
+        // Sample stddev of {2, 4} = √2.
+        assert!((stddev(&[2.0, 4.0]) - 2f64.sqrt()).abs() < 1e-12);
+        // Constant data has zero deviation.
+        assert_eq!(stddev(&[3.0; 10]), 0.0);
+    }
+
+    #[test]
+    fn relative_scale_handles_zero_baseline() {
+        assert_eq!(relative_scale(1.0, 0.0), 0.0);
+        assert!((relative_scale(3.0, 2.0) - 1.5).abs() < 1e-12);
+    }
+}

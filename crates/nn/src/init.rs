@@ -1,0 +1,131 @@
+//! Weight initializers.
+//!
+//! Random initialization is the first algorithmic noise source in the
+//! paper's Table 1. All draws come from a named [`detrand`] stream so a
+//! fixed seed reproduces initialization exactly regardless of what any
+//! other component consumed.
+
+use detrand::StreamRng;
+use nstensor::{Shape, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// Weight-initialization schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Init {
+    /// Glorot/Xavier uniform: `U(-√(6/(fan_in+fan_out)), +√(6/(fan_in+fan_out)))`.
+    GlorotUniform,
+    /// He normal: `N(0, √(2/fan_in))` — the standard for ReLU networks.
+    HeNormal,
+    /// All zeros (biases).
+    Zeros,
+    /// A small positive constant (pre-ReLU biases; keeps unlucky
+    /// initializations from producing dead layers with zero gradient flow).
+    SmallPositive,
+    /// All ones (batch-norm scale).
+    Ones,
+}
+
+impl Init {
+    /// Materializes a tensor of the given shape.
+    ///
+    /// `fan_in`/`fan_out` are the effective fan values (for convolutions,
+    /// `channels × k²`).
+    pub fn tensor(
+        self,
+        shape: Shape,
+        fan_in: usize,
+        fan_out: usize,
+        rng: &mut StreamRng,
+    ) -> Tensor {
+        let mut t = Tensor::zeros(shape);
+        match self {
+            Init::GlorotUniform => {
+                let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+                for v in t.as_mut_slice() {
+                    *v = rng.uniform(-limit, limit);
+                }
+            }
+            Init::HeNormal => {
+                let std = (2.0 / fan_in as f32).sqrt();
+                for v in t.as_mut_slice() {
+                    *v = rng.normal_with(0.0, std);
+                }
+            }
+            Init::Zeros => {}
+            Init::SmallPositive => {
+                for v in t.as_mut_slice() {
+                    *v = 0.01;
+                }
+            }
+            Init::Ones => {
+                for v in t.as_mut_slice() {
+                    *v = 1.0;
+                }
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detrand::{Philox, StreamId};
+
+    fn rng(seed: u64) -> StreamRng {
+        Philox::from_seed(seed).stream(StreamId::INIT)
+    }
+
+    #[test]
+    fn glorot_respects_limit() {
+        let mut r = rng(1);
+        let t = Init::GlorotUniform.tensor(Shape::of(&[100, 50]), 50, 100, &mut r);
+        let limit = (6.0f32 / 150.0).sqrt();
+        assert!(t.as_slice().iter().all(|&v| v.abs() <= limit));
+        // Not all zero.
+        assert!(t.as_slice().iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn he_normal_std_close_to_target() {
+        let mut r = rng(2);
+        let fan_in = 64;
+        let t = Init::HeNormal.tensor(Shape::of(&[40_000]), fan_in, 1, &mut r);
+        let target = (2.0 / fan_in as f64).sqrt();
+        let var: f64 = t
+            .as_slice()
+            .iter()
+            .map(|&v| (v as f64) * (v as f64))
+            .sum::<f64>()
+            / t.len() as f64;
+        assert!(
+            (var.sqrt() - target).abs() < 0.02 * target + 1e-3,
+            "std {} vs {target}",
+            var.sqrt()
+        );
+    }
+
+    #[test]
+    fn zeros_and_ones() {
+        let mut r = rng(3);
+        assert!(Init::Zeros
+            .tensor(Shape::of(&[5]), 1, 1, &mut r)
+            .as_slice()
+            .iter()
+            .all(|&v| v == 0.0));
+        assert!(Init::Ones
+            .tensor(Shape::of(&[5]), 1, 1, &mut r)
+            .as_slice()
+            .iter()
+            .all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn same_seed_same_init() {
+        let a = Init::HeNormal.tensor(Shape::of(&[64]), 8, 8, &mut rng(7));
+        let b = Init::HeNormal.tensor(Shape::of(&[64]), 8, 8, &mut rng(7));
+        assert_eq!(a.as_slice(), b.as_slice());
+        let c = Init::HeNormal.tensor(Shape::of(&[64]), 8, 8, &mut rng(8));
+        assert_ne!(a.as_slice(), c.as_slice());
+    }
+}

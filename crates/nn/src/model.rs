@@ -1,0 +1,168 @@
+//! The network container.
+
+use crate::layers::Layer;
+use detrand::Philox;
+use hwsim::ExecutionContext;
+use nstensor::Tensor;
+
+/// A sequential stack of layers.
+///
+/// # Example
+///
+/// ```
+/// use detrand::{Philox, StreamId};
+/// use hwsim::{Device, ExecutionContext, ExecutionMode};
+/// use nnet::layers::{Dense, Relu};
+/// use nnet::model::Network;
+/// use nstensor::{Shape, Tensor};
+///
+/// let root = Philox::from_seed(1);
+/// let mut rng = root.stream(StreamId::INIT.child(0));
+/// let mut net = Network::new();
+/// net.push(Dense::new(4, 8, &mut rng));
+/// net.push(Relu::new());
+/// net.push(Dense::new(8, 2, &mut rng));
+/// let mut exec = ExecutionContext::new(Device::cpu(), ExecutionMode::Default, 0);
+/// let y = net.forward(Tensor::zeros(Shape::of(&[3, 4])), &mut exec, &root, 0, false);
+/// assert_eq!(y.shape().dims(), &[3, 2]);
+/// ```
+#[derive(Debug, Default)]
+pub struct Network {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self { layers: Vec::new() }
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: impl Layer + 'static) {
+        self.layers.push(Box::new(layer));
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Forward pass through every layer.
+    pub fn forward(
+        &mut self,
+        mut x: Tensor,
+        exec: &mut ExecutionContext,
+        algo: &Philox,
+        step: u64,
+        training: bool,
+    ) -> Tensor {
+        for layer in &mut self.layers {
+            x = layer.forward(x, exec, algo, step, training);
+        }
+        x
+    }
+
+    /// Backward pass through every layer in reverse.
+    pub fn backward(&mut self, mut dy: Tensor, exec: &mut ExecutionContext) -> Tensor {
+        for layer in self.layers.iter_mut().rev() {
+            dy = layer.backward(dy, exec);
+        }
+        dy
+    }
+
+    /// Visits every `(parameter, gradient)` pair.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    /// Total trainable parameter count.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Flattens every parameter into one vector (for weight-divergence
+    /// measurements between replicas).
+    pub fn flat_weights(&mut self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        self.visit_params(&mut |p, _| out.extend_from_slice(p.as_slice()));
+        out
+    }
+
+    /// Euclidean norm of all weights.
+    pub fn weight_norm(&mut self) -> f64 {
+        let mut s = 0f64;
+        self.visit_params(&mut |p, _| {
+            s += p
+                .as_slice()
+                .iter()
+                .map(|&v| (v as f64) * (v as f64))
+                .sum::<f64>();
+        });
+        s.sqrt()
+    }
+
+    /// The kinds of the layers, in order.
+    pub fn layer_kinds(&self) -> Vec<&'static str> {
+        self.layers.iter().map(|l| l.kind()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Relu};
+    use detrand::StreamId;
+    use hwsim::{Device, ExecutionMode};
+    use nstensor::Shape;
+
+    fn mlp(seed: u64) -> (Network, Philox) {
+        let root = Philox::from_seed(seed);
+        let mut rng = root.stream(StreamId::INIT.child(0));
+        let mut net = Network::new();
+        net.push(Dense::new(3, 5, &mut rng));
+        net.push(Relu::new());
+        net.push(Dense::new(5, 2, &mut rng));
+        (net, root)
+    }
+
+    #[test]
+    fn forward_backward_shapes() {
+        let (mut net, root) = mlp(1);
+        let mut exec = ExecutionContext::new(Device::cpu(), ExecutionMode::Default, 0);
+        let y = net.forward(Tensor::full(Shape::of(&[4, 3]), 0.5), &mut exec, &root, 0, true);
+        assert_eq!(y.shape().dims(), &[4, 2]);
+        let dx = net.backward(Tensor::full(Shape::of(&[4, 2]), 1.0), &mut exec);
+        assert_eq!(dx.shape().dims(), &[4, 3]);
+    }
+
+    #[test]
+    fn param_count_and_flat_weights_agree() {
+        let (mut net, _) = mlp(2);
+        assert_eq!(net.param_count(), 3 * 5 + 5 + 5 * 2 + 2);
+        assert_eq!(net.flat_weights().len(), net.param_count());
+    }
+
+    #[test]
+    fn same_seed_identical_weights() {
+        let (mut a, _) = mlp(3);
+        let (mut b, _) = mlp(3);
+        assert_eq!(a.flat_weights(), b.flat_weights());
+        let (mut c, _) = mlp(4);
+        assert_ne!(a.flat_weights(), c.flat_weights());
+    }
+
+    #[test]
+    fn layer_kinds_in_order() {
+        let (net, _) = mlp(5);
+        assert_eq!(net.layer_kinds(), vec!["dense", "relu", "dense"]);
+        assert_eq!(net.len(), 3);
+        assert!(!net.is_empty());
+    }
+}

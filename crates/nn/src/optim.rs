@@ -1,0 +1,175 @@
+//! Optimizers.
+//!
+//! Parameter updates are element-wise (no reductions), so the optimizer
+//! itself introduces no implementation noise; all order sensitivity enters
+//! through the gradients it is handed.
+
+use crate::model::Network;
+use nstensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of stochastic gradient descent with momentum.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SgdConfig {
+    /// Momentum coefficient (0 disables momentum).
+    pub momentum: f32,
+    /// Decoupled L2 weight decay.
+    pub weight_decay: f32,
+}
+
+impl Default for SgdConfig {
+    fn default() -> Self {
+        Self {
+            momentum: 0.9,
+            weight_decay: 0.0,
+        }
+    }
+}
+
+/// SGD with momentum.
+#[derive(Debug)]
+pub struct Sgd {
+    config: SgdConfig,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// Creates the optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `momentum` is outside `[0, 1)` or `weight_decay` negative.
+    pub fn new(config: SgdConfig) -> Self {
+        assert!(
+            (0.0..1.0).contains(&config.momentum),
+            "momentum {} outside [0, 1)",
+            config.momentum
+        );
+        assert!(config.weight_decay >= 0.0, "negative weight decay");
+        Self {
+            config,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Applies one update step with learning rate `lr` to every parameter
+    /// of `net`, consuming the gradients stored by the last backward pass.
+    pub fn step(&mut self, net: &mut Network, lr: f32) {
+        let cfg = self.config;
+        let velocity = &mut self.velocity;
+        let mut idx = 0usize;
+        net.visit_params(&mut |param: &mut Tensor, grad: &mut Tensor| {
+            if velocity.len() <= idx {
+                velocity.push(vec![0.0; param.len()]);
+            }
+            let vel = &mut velocity[idx];
+            assert_eq!(vel.len(), param.len(), "parameter shape changed");
+            let pv = param.as_mut_slice();
+            let gv = grad.as_slice();
+            for i in 0..pv.len() {
+                let g = gv[i] + cfg.weight_decay * pv[i];
+                vel[i] = cfg.momentum * vel[i] + g;
+                pv[i] -= lr * vel[i];
+            }
+            idx += 1;
+        });
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> SgdConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Dense;
+    use crate::model::Network;
+    use detrand::{Philox, StreamId};
+    use hwsim::{Device, ExecutionContext, ExecutionMode};
+    use nstensor::{Shape, Tensor};
+
+    fn tiny_net(seed: u64) -> Network {
+        let root = Philox::from_seed(seed);
+        let mut rng = root.stream(StreamId::INIT.child(0));
+        let mut net = Network::new();
+        net.push(Dense::new(2, 1, &mut rng));
+        net
+    }
+
+    #[test]
+    fn plain_sgd_moves_against_gradient() {
+        let mut net = tiny_net(1);
+        let mut exec = ExecutionContext::new(Device::cpu(), ExecutionMode::Default, 0);
+        let root = Philox::from_seed(1);
+        let x = Tensor::from_vec(Shape::of(&[1, 2]), vec![1.0, 1.0]).unwrap();
+        let y = net.forward(x, &mut exec, &root, 0, true);
+        let before = y.as_slice()[0];
+        // dL/dy = 1 → weights should decrease the output.
+        net.backward(Tensor::full(Shape::of(&[1, 1]), 1.0), &mut exec);
+        let mut opt = Sgd::new(SgdConfig {
+            momentum: 0.0,
+            weight_decay: 0.0,
+        });
+        opt.step(&mut net, 0.1);
+        let x = Tensor::from_vec(Shape::of(&[1, 2]), vec![1.0, 1.0]).unwrap();
+        let after = net.forward(x, &mut exec, &root, 1, false).as_slice()[0];
+        assert!(after < before, "{after} !< {before}");
+    }
+
+    #[test]
+    fn momentum_accumulates() {
+        // Two identical gradient steps: with momentum the second update is
+        // larger than the first.
+        let run = |momentum: f32| -> f32 {
+            let mut net = tiny_net(2);
+            let mut exec = ExecutionContext::new(Device::cpu(), ExecutionMode::Default, 0);
+            let root = Philox::from_seed(2);
+            let mut opt = Sgd::new(SgdConfig {
+                momentum,
+                weight_decay: 0.0,
+            });
+            let probe = |net: &mut Network, exec: &mut ExecutionContext| {
+                let x = Tensor::from_vec(Shape::of(&[1, 2]), vec![1.0, 1.0]).unwrap();
+                net.forward(x, exec, &root, 0, false).as_slice()[0]
+            };
+            let start = probe(&mut net, &mut exec);
+            for step in 0..2 {
+                let x = Tensor::from_vec(Shape::of(&[1, 2]), vec![1.0, 1.0]).unwrap();
+                net.forward(x, &mut exec, &root, step, true);
+                net.backward(Tensor::full(Shape::of(&[1, 1]), 1.0), &mut exec);
+                opt.step(&mut net, 0.1);
+            }
+            start - probe(&mut net, &mut exec)
+        };
+        assert!(run(0.9) > run(0.0));
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut net = tiny_net(3);
+        let norm_before = net.weight_norm();
+        let mut exec = ExecutionContext::new(Device::cpu(), ExecutionMode::Default, 0);
+        let root = Philox::from_seed(3);
+        let mut opt = Sgd::new(SgdConfig {
+            momentum: 0.0,
+            weight_decay: 0.5,
+        });
+        // Zero gradients: only decay acts.
+        let x = Tensor::zeros(Shape::of(&[1, 2]));
+        net.forward(x, &mut exec, &root, 0, true);
+        net.backward(Tensor::zeros(Shape::of(&[1, 1])), &mut exec);
+        opt.step(&mut net, 0.1);
+        assert!(net.weight_norm() < norm_before);
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum")]
+    fn rejects_momentum_one() {
+        Sgd::new(SgdConfig {
+            momentum: 1.0,
+            weight_decay: 0.0,
+        });
+    }
+}

@@ -1,0 +1,118 @@
+//! Learning-rate schedules matching the paper's training methodology
+//! (Appendix B): step decay for CIFAR/CelebA, warmup + cosine for ImageNet.
+
+use serde::{Deserialize, Serialize};
+
+/// A learning-rate schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant {
+        /// The rate.
+        lr: f32,
+    },
+    /// `base_lr × factor^(epoch / every)` — "decays by a factor of ten
+    /// every 50 epochs" style.
+    StepDecay {
+        /// Initial rate.
+        base_lr: f32,
+        /// Multiplicative factor applied at each boundary.
+        factor: f32,
+        /// Epochs between boundaries.
+        every: u32,
+    },
+    /// Linear warmup over the first `warmup_epochs`, then cosine decay to
+    /// zero at `total_epochs` (the paper's ImageNet recipe).
+    WarmupCosine {
+        /// Peak rate after warmup.
+        base_lr: f32,
+        /// Warmup length in epochs.
+        warmup_epochs: u32,
+        /// Total training length in epochs.
+        total_epochs: u32,
+    },
+}
+
+impl LrSchedule {
+    /// The learning rate at the given (0-based) epoch.
+    pub fn lr_at(&self, epoch: u32) -> f32 {
+        match *self {
+            LrSchedule::Constant { lr } => lr,
+            LrSchedule::StepDecay {
+                base_lr,
+                factor,
+                every,
+            } => base_lr * factor.powi((epoch / every.max(1)) as i32),
+            LrSchedule::WarmupCosine {
+                base_lr,
+                warmup_epochs,
+                total_epochs,
+            } => {
+                if epoch < warmup_epochs {
+                    base_lr * (epoch + 1) as f32 / warmup_epochs.max(1) as f32
+                } else {
+                    let t = (epoch - warmup_epochs) as f32
+                        / (total_epochs.saturating_sub(warmup_epochs)).max(1) as f32;
+                    base_lr * 0.5 * (1.0 + (core::f32::consts::PI * t.min(1.0)).cos())
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant { lr: 0.1 };
+        assert_eq!(s.lr_at(0), 0.1);
+        assert_eq!(s.lr_at(1000), 0.1);
+    }
+
+    #[test]
+    fn step_decay_boundaries() {
+        // The paper's CIFAR recipe: decays by 10× every 50 epochs.
+        let s = LrSchedule::StepDecay {
+            base_lr: 4e-4,
+            factor: 0.1,
+            every: 50,
+        };
+        assert!((s.lr_at(0) - 4e-4).abs() < 1e-10);
+        assert!((s.lr_at(49) - 4e-4).abs() < 1e-10);
+        assert!((s.lr_at(50) - 4e-5).abs() < 1e-10);
+        assert!((s.lr_at(150) - 4e-7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warmup_then_cosine() {
+        let s = LrSchedule::WarmupCosine {
+            base_lr: 0.1,
+            warmup_epochs: 1,
+            total_epochs: 90,
+        };
+        // Warmup reaches base by the end of epoch 0.
+        assert!((s.lr_at(0) - 0.1).abs() < 1e-7);
+        // Cosine: monotone decreasing afterwards.
+        let mut prev = s.lr_at(1);
+        for e in 2..90 {
+            let lr = s.lr_at(e);
+            assert!(lr <= prev + 1e-9, "not decreasing at {e}");
+            prev = lr;
+        }
+        assert!(s.lr_at(89) < 0.001);
+    }
+
+    #[test]
+    fn warmup_is_linear() {
+        let s = LrSchedule::WarmupCosine {
+            base_lr: 0.4,
+            warmup_epochs: 4,
+            total_epochs: 10,
+        };
+        assert!((s.lr_at(0) - 0.1).abs() < 1e-7);
+        assert!((s.lr_at(1) - 0.2).abs() < 1e-7);
+        assert!((s.lr_at(3) - 0.4).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,550 @@
+//! The training loop.
+//!
+//! Wires together the four algorithmic noise sources (initialization is the
+//! model's job; the trainer owns shuffling, augmentation and the step
+//! counter that addresses dropout streams) and the implementation noise
+//! carried by the [`hwsim::ExecutionContext`].
+
+use crate::loss::{argmax_predictions, binary_predictions, sigmoid_bce, softmax_cross_entropy};
+use crate::model::Network;
+use crate::optim::{Sgd, SgdConfig};
+use crate::schedule::LrSchedule;
+use detrand::{shuffle_in_place, Philox, StreamId, StreamRng};
+use hwsim::ExecutionContext;
+use nstensor::{Shape, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// Supervision targets.
+#[derive(Debug, Clone)]
+pub enum Targets {
+    /// One class index per sample (softmax cross-entropy).
+    Classes(Vec<u32>),
+    /// `[N, A]` binary attribute matrix (sigmoid BCE, CelebA-style).
+    Binary(Tensor),
+}
+
+impl Targets {
+    /// Number of samples covered.
+    pub fn len(&self) -> usize {
+        match self {
+            Targets::Classes(v) => v.len(),
+            Targets::Binary(t) => t.shape().dim(0),
+        }
+    }
+
+    /// Whether there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn gather(&self, idx: &[usize]) -> Targets {
+        match self {
+            Targets::Classes(v) => Targets::Classes(idx.iter().map(|&i| v[i]).collect()),
+            Targets::Binary(t) => {
+                let a = t.shape().dim(1);
+                let mut data = Vec::with_capacity(idx.len() * a);
+                for &i in idx {
+                    data.extend_from_slice(&t.as_slice()[i * a..(i + 1) * a]);
+                }
+                Targets::Binary(
+                    Tensor::from_vec(Shape::of(&[idx.len(), a]), data).expect("target gather"),
+                )
+            }
+        }
+    }
+}
+
+/// An in-memory supervised dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Features: `[N, C, H, W]` images or `[N, D]` vectors.
+    pub x: Tensor,
+    /// Targets aligned with the first axis of `x`.
+    pub targets: Targets,
+}
+
+impl Dataset {
+    /// Creates a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample counts disagree.
+    pub fn new(x: Tensor, targets: Targets) -> Self {
+        assert_eq!(x.shape().dim(0), targets.len(), "sample count mismatch");
+        Self { x, targets }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.x.shape().dim(0)
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size of one sample in scalars.
+    pub fn sample_len(&self) -> usize {
+        self.x.len() / self.len().max(1)
+    }
+
+    /// Gathers the samples at `idx` into a batch.
+    pub fn gather(&self, idx: &[usize]) -> Batch {
+        let sl = self.sample_len();
+        let mut data = Vec::with_capacity(idx.len() * sl);
+        for &i in idx {
+            data.extend_from_slice(&self.x.as_slice()[i * sl..(i + 1) * sl]);
+        }
+        let mut dims = vec![idx.len()];
+        dims.extend_from_slice(&self.x.shape().dims()[1..]);
+        Batch {
+            x: Tensor::from_vec(Shape::of(&dims), data).expect("batch gather"),
+            targets: self.targets.gather(idx),
+        }
+    }
+}
+
+/// One minibatch.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Features.
+    pub x: Tensor,
+    /// Targets.
+    pub targets: Targets,
+}
+
+/// Stochastic data augmentation applied per sample during training.
+pub trait Augment: std::fmt::Debug {
+    /// Mutates one sample in place. `dims` are the sample's dimensions
+    /// (e.g. `[C, H, W]`); `rng` is the run's augmentation stream.
+    fn apply(&self, sample: &mut [f32], dims: &[usize], rng: &mut StreamRng);
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Number of epochs.
+    pub epochs: u32,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Learning-rate schedule.
+    pub schedule: LrSchedule,
+    /// Optimizer configuration.
+    pub sgd: SgdConfig,
+    /// Whether to reshuffle the training set every epoch (an algorithmic
+    /// noise source; disabled for the paper's Fig. 6 ordering experiment).
+    pub shuffle: bool,
+    /// When set, the shuffle stream is drawn from this seed instead of the
+    /// run's algorithmic root — lets an experiment vary *only* the data
+    /// order while every other algorithmic factor stays fixed (the paper's
+    /// Fig. 6 design).
+    pub shuffle_seed_override: Option<u64>,
+    /// Simulated data-parallel workers (1 = single device). Each batch is
+    /// sharded across workers; shard gradients are combined through the
+    /// device's `Misc` reducer, so a nondeterministic interconnect
+    /// (arrival-order all-reduce) injects additional implementation noise —
+    /// the distributed-training extension of the paper's §6.
+    pub data_parallel_workers: usize,
+    /// When set, the augmentation stream derives from this seed instead of
+    /// the run's algorithmic root (vary *only* augmentation).
+    pub augment_seed_override: Option<u64>,
+    /// When set, stochastic layers (dropout) derive their streams from
+    /// this seed instead of the run's algorithmic root (vary *only* the
+    /// stochastic layers).
+    pub dropout_seed_override: Option<u64>,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 10,
+            batch_size: 32,
+            schedule: LrSchedule::Constant { lr: 0.05 },
+            sgd: SgdConfig::default(),
+            shuffle: true,
+            shuffle_seed_override: None,
+            data_parallel_workers: 1,
+            augment_seed_override: None,
+            dropout_seed_override: None,
+        }
+    }
+}
+
+/// Per-epoch training telemetry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Mean training loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Total optimizer steps taken.
+    pub steps: u64,
+}
+
+/// The training loop driver.
+#[derive(Debug)]
+pub struct Trainer {
+    config: TrainConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn new(config: TrainConfig) -> Self {
+        assert!(config.batch_size > 0, "batch size must be positive");
+        assert!(
+            config.data_parallel_workers > 0,
+            "worker count must be positive"
+        );
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> TrainConfig {
+        self.config
+    }
+
+    /// Trains `net` on `data`.
+    ///
+    /// `algo` is the run's algorithmic root: shuffling uses its `SHUFFLE`
+    /// stream, augmentation its `AUGMENT` stream, dropout layers their own
+    /// streams. `exec` carries the device's accumulation-order semantics.
+    pub fn fit(
+        &self,
+        net: &mut Network,
+        data: &Dataset,
+        exec: &mut ExecutionContext,
+        algo: &Philox,
+        augment: Option<&dyn Augment>,
+    ) -> TrainReport {
+        let cfg = self.config;
+        let mut opt = Sgd::new(cfg.sgd);
+        let mut shuffle_rng = match cfg.shuffle_seed_override {
+            Some(seed) => Philox::from_seed(seed).stream(StreamId::SHUFFLE),
+            None => algo.stream(StreamId::SHUFFLE),
+        };
+        let mut augment_rng = match cfg.augment_seed_override {
+            Some(seed) => Philox::from_seed(seed).stream(StreamId::AUGMENT),
+            None => algo.stream(StreamId::AUGMENT),
+        };
+        // Stochastic layers read their streams from the root handed to
+        // `forward`; substituting it isolates dropout as a noise source.
+        let forward_root = cfg
+            .dropout_seed_override
+            .map(Philox::from_seed)
+            .unwrap_or(*algo);
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let mut step: u64 = 0;
+        let mut epoch_losses = Vec::with_capacity(cfg.epochs as usize);
+        let sample_dims: Vec<usize> = data.x.shape().dims()[1..].to_vec();
+
+        for epoch in 0..cfg.epochs {
+            if cfg.shuffle {
+                shuffle_in_place(&mut shuffle_rng, &mut order);
+            }
+            let lr = cfg.schedule.lr_at(epoch);
+            let mut loss_sum = 0f64;
+            let mut batches = 0u32;
+            for chunk in order.chunks(cfg.batch_size) {
+                let mut batch = data.gather(chunk);
+                if let Some(aug) = augment {
+                    let sl = data.sample_len();
+                    for s in 0..chunk.len() {
+                        aug.apply(
+                            &mut batch.x.as_mut_slice()[s * sl..(s + 1) * sl],
+                            &sample_dims,
+                            &mut augment_rng,
+                        );
+                    }
+                }
+                let loss = if cfg.data_parallel_workers > 1 {
+                    train_step_data_parallel(
+                        net,
+                        &batch,
+                        chunk.len(),
+                        cfg.data_parallel_workers,
+                        exec,
+                        &forward_root,
+                        step,
+                    )
+                } else {
+                    let logits = net.forward(batch.x, exec, &forward_root, step, true);
+                    let (loss, dlogits) = match &batch.targets {
+                        Targets::Classes(labels) => softmax_cross_entropy(&logits, labels),
+                        Targets::Binary(t) => sigmoid_bce(&logits, t),
+                    };
+                    net.backward(dlogits, exec);
+                    loss
+                };
+                opt.step(net, lr);
+                loss_sum += loss as f64;
+                batches += 1;
+                step += 1;
+            }
+            epoch_losses.push((loss_sum / batches.max(1) as f64) as f32);
+        }
+        TrainReport {
+            epoch_losses,
+            steps: step,
+        }
+    }
+}
+
+/// One simulated data-parallel training step: shard the batch, compute
+/// per-worker gradients, and all-reduce them through the device's `Misc`
+/// reducer (arrival-order combination on nondeterministic interconnects).
+///
+/// Returns the mean loss across shards; parameter gradients are left in
+/// the network for the optimizer, exactly like the single-device path.
+fn train_step_data_parallel(
+    net: &mut Network,
+    batch: &Batch,
+    batch_len: usize,
+    workers: usize,
+    exec: &mut ExecutionContext,
+    algo: &Philox,
+    step: u64,
+) -> f32 {
+    let shard_size = batch_len.div_ceil(workers);
+    let idx: Vec<usize> = (0..batch_len).collect();
+    let sl = batch.x.len() / batch_len.max(1);
+    let mut shard_grads: Vec<Vec<f32>> = Vec::new();
+    let mut shard_weights: Vec<f32> = Vec::new();
+    let mut loss_sum = 0f64;
+    let mut shards = 0u32;
+
+    for shard_idx in idx.chunks(shard_size) {
+        // Materialize the shard.
+        let mut data = Vec::with_capacity(shard_idx.len() * sl);
+        for &i in shard_idx {
+            data.extend_from_slice(&batch.x.as_slice()[i * sl..(i + 1) * sl]);
+        }
+        let mut dims = vec![shard_idx.len()];
+        dims.extend_from_slice(&batch.x.shape().dims()[1..]);
+        let x = Tensor::from_vec(Shape::of(&dims), data).expect("shard gather");
+        let targets = batch.targets.gather(shard_idx);
+
+        let logits = net.forward(x, exec, algo, step, true);
+        let (loss, dlogits) = match &targets {
+            Targets::Classes(labels) => softmax_cross_entropy(&logits, labels),
+            Targets::Binary(t) => sigmoid_bce(&logits, t),
+        };
+        net.backward(dlogits, exec);
+        loss_sum += loss as f64;
+        shards += 1;
+
+        // Snapshot this worker's gradients.
+        let mut flat = Vec::new();
+        net.visit_params(&mut |_, g| flat.extend_from_slice(g.as_slice()));
+        shard_grads.push(flat);
+        shard_weights.push(shard_idx.len() as f32 / batch_len as f32);
+    }
+
+    // All-reduce: combine per-worker gradients element-wise through the
+    // device's reducer — the combination order is where interconnect
+    // nondeterminism enters.
+    let red = exec.reducer(hwsim::OpClass::Misc);
+    let n_params = shard_grads[0].len();
+    let mut combined = vec![0f32; n_params];
+    let mut scratch = vec![0f32; shard_grads.len()];
+    for i in 0..n_params {
+        for (s, g) in shard_grads.iter().enumerate() {
+            scratch[s] = g[i] * shard_weights[s];
+        }
+        combined[i] = red.sum(&scratch);
+    }
+    // Write the reduced gradients back for the optimizer.
+    let mut offset = 0usize;
+    net.visit_params(&mut |_, g| {
+        let len = g.len();
+        g.as_mut_slice().copy_from_slice(&combined[offset..offset + len]);
+        offset += len;
+    });
+    (loss_sum / shards.max(1) as f64) as f32
+}
+
+/// Runs inference over a dataset in batches; returns class predictions.
+pub fn predict_classes(
+    net: &mut Network,
+    data: &Dataset,
+    exec: &mut ExecutionContext,
+    algo: &Philox,
+    batch_size: usize,
+) -> Vec<u32> {
+    let idx: Vec<usize> = (0..data.len()).collect();
+    let mut preds = Vec::with_capacity(data.len());
+    for chunk in idx.chunks(batch_size.max(1)) {
+        let batch = data.gather(chunk);
+        let logits = net.forward(batch.x, exec, algo, u64::MAX, false);
+        preds.extend(argmax_predictions(&logits));
+    }
+    preds
+}
+
+/// Runs inference; returns flat `[N × A]` binary attribute predictions.
+pub fn predict_binary(
+    net: &mut Network,
+    data: &Dataset,
+    exec: &mut ExecutionContext,
+    algo: &Philox,
+    batch_size: usize,
+) -> Vec<u8> {
+    let idx: Vec<usize> = (0..data.len()).collect();
+    let mut preds = Vec::new();
+    for chunk in idx.chunks(batch_size.max(1)) {
+        let batch = data.gather(chunk);
+        let logits = net.forward(batch.x, exec, algo, u64::MAX, false);
+        preds.extend(binary_predictions(&logits));
+    }
+    preds
+}
+
+/// Classification accuracy of predictions against a dataset's labels.
+///
+/// # Panics
+///
+/// Panics if the dataset is not class-labelled or lengths mismatch.
+pub fn accuracy(preds: &[u32], data: &Dataset) -> f64 {
+    match &data.targets {
+        Targets::Classes(labels) => {
+            assert_eq!(preds.len(), labels.len());
+            if labels.is_empty() {
+                return 0.0;
+            }
+            preds
+                .iter()
+                .zip(labels)
+                .filter(|(p, l)| p == l)
+                .count() as f64
+                / labels.len() as f64
+        }
+        Targets::Binary(_) => panic!("accuracy() expects class targets"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Relu};
+    use hwsim::{Device, ExecutionMode};
+
+    /// A linearly separable 2-class problem the MLP must learn.
+    fn toy_dataset(n: usize, seed: u64) -> Dataset {
+        let root = Philox::from_seed(seed);
+        let mut rng = root.stream(StreamId::DATASET);
+        let mut x = Tensor::zeros(Shape::of(&[n, 4]));
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let c = (i % 2) as u32;
+            labels.push(c);
+            for j in 0..4 {
+                let mean = if c == 1 { 1.0 } else { -1.0 };
+                x.as_mut_slice()[i * 4 + j] = rng.normal_with(mean, 0.5);
+            }
+        }
+        Dataset::new(x, Targets::Classes(labels))
+    }
+
+    fn mlp(seed: u64) -> (Network, Philox) {
+        let root = Philox::from_seed(seed);
+        let mut rng = root.stream(StreamId::INIT.child(0));
+        let mut net = Network::new();
+        net.push(Dense::new(4, 16, &mut rng));
+        net.push(Relu::new());
+        net.push(Dense::new(16, 2, &mut rng));
+        (net, root)
+    }
+
+    #[test]
+    fn training_reduces_loss_and_learns() {
+        let data = toy_dataset(128, 1);
+        let (mut net, root) = mlp(2);
+        let mut exec = ExecutionContext::new(Device::cpu(), ExecutionMode::Default, 0);
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 20,
+            batch_size: 16,
+            schedule: LrSchedule::Constant { lr: 0.1 },
+            sgd: SgdConfig::default(),
+            shuffle: true,
+            shuffle_seed_override: None,
+            data_parallel_workers: 1,
+            augment_seed_override: None,
+            dropout_seed_override: None,
+        });
+        let report = trainer.fit(&mut net, &data, &mut exec, &root, None);
+        assert_eq!(report.steps, 20 * 8);
+        assert!(
+            report.epoch_losses.last().unwrap() < &(report.epoch_losses[0] * 0.5),
+            "loss did not drop: {:?}",
+            report.epoch_losses
+        );
+        let preds = predict_classes(&mut net, &data, &mut exec, &root, 32);
+        assert!(accuracy(&preds, &data) > 0.95);
+    }
+
+    #[test]
+    fn identical_seeds_identical_training_on_cpu() {
+        let data = toy_dataset(64, 3);
+        let run = || {
+            let (mut net, root) = mlp(7);
+            let mut exec = ExecutionContext::new(Device::cpu(), ExecutionMode::Default, 0);
+            let trainer = Trainer::new(TrainConfig {
+                epochs: 5,
+                ..TrainConfig::default()
+            });
+            trainer.fit(&mut net, &data, &mut exec, &root, None);
+            net.flat_weights()
+        };
+        assert_eq!(run(), run(), "CPU training must be bitwise replayable");
+    }
+
+    #[test]
+    fn shuffle_order_changes_training() {
+        let data = toy_dataset(64, 3);
+        let run = |algo_seed: u64| {
+            let (mut net, _) = mlp(7); // same init
+            let root = Philox::from_seed(algo_seed); // different shuffle
+            let mut exec = ExecutionContext::new(Device::cpu(), ExecutionMode::Default, 0);
+            let trainer = Trainer::new(TrainConfig {
+                epochs: 3,
+                ..TrainConfig::default()
+            });
+            trainer.fit(&mut net, &data, &mut exec, &root, None);
+            net.flat_weights()
+        };
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn gather_preserves_rows() {
+        let data = toy_dataset(8, 5);
+        let batch = data.gather(&[3, 1]);
+        assert_eq!(batch.x.shape().dims(), &[2, 4]);
+        assert_eq!(
+            &batch.x.as_slice()[0..4],
+            &data.x.as_slice()[12..16],
+            "row 3 first"
+        );
+        match batch.targets {
+            Targets::Classes(ref l) => assert_eq!(l, &[1, 1]),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_size_rejected() {
+        Trainer::new(TrainConfig {
+            batch_size: 0,
+            ..TrainConfig::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "sample count mismatch")]
+    fn dataset_validates_lengths() {
+        Dataset::new(Tensor::zeros(Shape::of(&[3, 2])), Targets::Classes(vec![0, 1]));
+    }
+}

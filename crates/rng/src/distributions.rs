@@ -1,0 +1,174 @@
+//! Reusable distribution objects.
+//!
+//! Thin wrappers over [`crate::StreamRng`] that carry their parameters, for
+//! call sites that sample the same distribution repeatedly (initializers,
+//! dataset generators).
+
+use crate::stream::StreamRng;
+use serde::{Deserialize, Serialize};
+
+/// Uniform distribution over `[lo, hi)`.
+///
+/// # Example
+///
+/// ```
+/// use detrand::{Philox, StreamId, Uniform};
+/// let mut rng = Philox::from_seed(1).stream(StreamId::TEST);
+/// let u = Uniform::new(-0.5, 0.5);
+/// let x = u.sample(&mut rng);
+/// assert!((-0.5..0.5).contains(&x));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Uniform {
+    lo: f32,
+    hi: f32,
+}
+
+impl Uniform {
+    /// Creates the distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or either bound is non-finite.
+    pub fn new(lo: f32, hi: f32) -> Self {
+        assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
+        assert!(lo < hi, "empty uniform range [{lo}, {hi})");
+        Self { lo, hi }
+    }
+
+    /// Draws one sample.
+    #[inline]
+    pub fn sample(&self, rng: &mut StreamRng) -> f32 {
+        rng.uniform(self.lo, self.hi)
+    }
+
+    /// Fills a slice with samples.
+    pub fn fill(&self, rng: &mut StreamRng, out: &mut [f32]) {
+        for v in out {
+            *v = self.sample(rng);
+        }
+    }
+}
+
+/// Normal distribution with mean and standard deviation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Normal {
+    mean: f32,
+    std: f32,
+}
+
+impl Normal {
+    /// Creates the distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std` is negative or either parameter is non-finite.
+    pub fn new(mean: f32, std: f32) -> Self {
+        assert!(mean.is_finite() && std.is_finite(), "params must be finite");
+        assert!(std >= 0.0, "negative standard deviation {std}");
+        Self { mean, std }
+    }
+
+    /// The standard normal.
+    pub fn standard() -> Self {
+        Self::new(0.0, 1.0)
+    }
+
+    /// Draws one sample.
+    #[inline]
+    pub fn sample(&self, rng: &mut StreamRng) -> f32 {
+        rng.normal_with(self.mean, self.std)
+    }
+
+    /// Fills a slice with samples.
+    pub fn fill(&self, rng: &mut StreamRng, out: &mut [f32]) {
+        for v in out {
+            *v = self.sample(rng);
+        }
+    }
+}
+
+/// Bernoulli distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Bernoulli {
+    p: f32,
+}
+
+impl Bernoulli {
+    /// Creates the distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn new(p: f32) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        Self { p }
+    }
+
+    /// Draws one sample.
+    #[inline]
+    pub fn sample(&self, rng: &mut StreamRng) -> bool {
+        rng.bernoulli(self.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Philox, StreamId};
+
+    fn rng() -> StreamRng {
+        Philox::from_seed(314).stream(StreamId::TEST)
+    }
+
+    #[test]
+    fn uniform_bounds_hold() {
+        let mut r = rng();
+        let u = Uniform::new(2.0, 3.0);
+        for _ in 0..10_000 {
+            let x = u.sample(&mut r);
+            assert!((2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty uniform range")]
+    fn uniform_rejects_inverted_range() {
+        Uniform::new(1.0, 1.0);
+    }
+
+    #[test]
+    fn normal_fill_has_requested_moments() {
+        let mut r = rng();
+        let n = Normal::new(5.0, 2.0);
+        let mut buf = vec![0.0f32; 100_000];
+        n.fill(&mut r, &mut buf);
+        let mean: f64 = buf.iter().map(|&x| x as f64).sum::<f64>() / buf.len() as f64;
+        let var: f64 = buf
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / buf.len() as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "negative standard deviation")]
+    fn normal_rejects_negative_std() {
+        Normal::new(0.0, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn bernoulli_rejects_bad_probability() {
+        Bernoulli::new(1.5);
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut r = rng();
+        assert!(!Bernoulli::new(0.0).sample(&mut r));
+        assert!(Bernoulli::new(1.0).sample(&mut r));
+    }
+}

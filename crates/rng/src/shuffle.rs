@@ -1,0 +1,95 @@
+//! Fisher-Yates shuffling and permutation generation.
+//!
+//! Data-shuffling order is one of the four algorithmic noise sources the
+//! paper isolates (Table 1), and *also* the source of the "latent
+//! implementation noise" in Figure 6: a different visit order changes the
+//! floating-point accumulation order of gradient reductions even on
+//! hardware that is otherwise deterministic.
+
+use crate::stream::StreamRng;
+
+/// Shuffles a slice in place with the Fisher-Yates algorithm.
+///
+/// # Example
+///
+/// ```
+/// use detrand::{shuffle_in_place, Philox, StreamId};
+/// let mut rng = Philox::from_seed(2).stream(StreamId::SHUFFLE);
+/// let mut xs = vec![1, 2, 3, 4, 5];
+/// shuffle_in_place(&mut rng, &mut xs);
+/// xs.sort_unstable();
+/// assert_eq!(xs, vec![1, 2, 3, 4, 5]);
+/// ```
+pub fn shuffle_in_place<T>(rng: &mut StreamRng, xs: &mut [T]) {
+    let n = xs.len();
+    if n < 2 {
+        return;
+    }
+    for i in (1..n).rev() {
+        let j = rng.next_below((i + 1) as u32) as usize;
+        xs.swap(i, j);
+    }
+}
+
+/// Returns a uniformly random permutation of `0..n`.
+pub fn permutation(rng: &mut StreamRng, n: usize) -> Vec<usize> {
+    let mut p: Vec<usize> = (0..n).collect();
+    shuffle_in_place(rng, &mut p);
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Philox, StreamId};
+
+    fn rng(seed: u64) -> StreamRng {
+        Philox::from_seed(seed).stream(StreamId::SHUFFLE)
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut r = rng(1);
+        let p = permutation(&mut r, 1000);
+        let mut seen = vec![false; 1000];
+        for &i in &p {
+            assert!(!seen[i], "duplicate index {i}");
+            seen[i] = true;
+        }
+    }
+
+    #[test]
+    fn same_seed_same_permutation() {
+        let a = permutation(&mut rng(9), 100);
+        let b = permutation(&mut rng(9), 100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_different_permutation() {
+        let a = permutation(&mut rng(9), 100);
+        let b = permutation(&mut rng(10), 100);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let mut r = rng(2);
+        assert!(permutation(&mut r, 0).is_empty());
+        assert_eq!(permutation(&mut r, 1), vec![0]);
+    }
+
+    #[test]
+    fn positions_are_roughly_uniform() {
+        // Element 0 should land in each position about equally often.
+        let mut counts = vec![0u32; 8];
+        for seed in 0..4000 {
+            let p = permutation(&mut rng(seed), 8);
+            let pos = p.iter().position(|&x| x == 0).unwrap();
+            counts[pos] += 1;
+        }
+        for &c in &counts {
+            assert!((350..650).contains(&c), "position count {c}");
+        }
+    }
+}

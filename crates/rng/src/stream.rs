@@ -1,0 +1,238 @@
+//! Named random streams.
+//!
+//! Every source of algorithmic randomness in a training run owns a
+//! [`StreamRng`] derived from the experiment's root key and a hierarchical
+//! [`StreamId`]. Streams are independent by construction: consuming any
+//! amount from one stream never shifts another, which is the property that
+//! makes the ALGO / IMPL noise decomposition of the paper well-defined.
+
+use crate::philox::{Philox, PhiloxState};
+use serde::{Deserialize, Serialize};
+
+/// A hierarchical identifier for a random stream.
+///
+/// Composed of a purpose tag and up to three levels of indices (e.g.
+/// `DROPOUT.child(layer).child(step)`), packed into a single salt.
+///
+/// # Example
+///
+/// ```
+/// use detrand::StreamId;
+/// let a = StreamId::DROPOUT.child(3);
+/// let b = StreamId::DROPOUT.child(4);
+/// assert_ne!(a.salt(), b.salt());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StreamId {
+    purpose: u16,
+    path: [u16; 3],
+    depth: u8,
+}
+
+impl StreamId {
+    /// Weight initialization draws.
+    pub const INIT: StreamId = StreamId::new(1);
+    /// Epoch shuffling of the training set.
+    pub const SHUFFLE: StreamId = StreamId::new(2);
+    /// Stochastic data augmentation.
+    pub const AUGMENT: StreamId = StreamId::new(3);
+    /// Dropout masks.
+    pub const DROPOUT: StreamId = StreamId::new(4);
+    /// Synthetic dataset generation.
+    pub const DATASET: StreamId = StreamId::new(5);
+    /// Anything test-local.
+    pub const TEST: StreamId = StreamId::new(6);
+
+    /// Creates a stream id with a custom purpose tag.
+    pub const fn new(purpose: u16) -> Self {
+        Self {
+            purpose,
+            path: [0; 3],
+            depth: 0,
+        }
+    }
+
+    /// Appends one level to the path (e.g. layer index, replica index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id already has three levels.
+    pub fn child(mut self, index: u16) -> Self {
+        assert!(self.depth < 3, "StreamId supports at most three levels");
+        self.path[self.depth as usize] = index;
+        self.depth += 1;
+        self
+    }
+
+    /// Packs the id into a 64-bit salt for key derivation.
+    pub fn salt(&self) -> u64 {
+        // depth participates so that `X.child(0)` != `X`.
+        (self.purpose as u64)
+            | ((self.path[0] as u64) << 16)
+            | ((self.path[1] as u64) << 32)
+            | ((self.path[2] as u64) << 48)
+            ^ ((self.depth as u64) << 61)
+    }
+}
+
+/// A mutable random stream with convenience distributions.
+///
+/// Obtained from [`Philox::stream`].
+#[derive(Debug, Clone)]
+pub struct StreamRng {
+    state: PhiloxState,
+    /// Cached second Box-Muller variate.
+    gauss_spare: Option<f32>,
+}
+
+impl Philox {
+    /// Opens the named stream at counter zero.
+    pub fn stream(&self, id: StreamId) -> StreamRng {
+        StreamRng {
+            state: self.derive(id.salt()).rng_at(0),
+            gauss_spare: None,
+        }
+    }
+}
+
+impl StreamRng {
+    /// Returns 32 random bits.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        self.state.next_u32()
+    }
+
+    /// Returns 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state.next_u64()
+    }
+
+    /// Returns a uniform `f32` in `[0, 1)`.
+    #[inline]
+    pub fn next_f32(&mut self) -> f32 {
+        self.state.next_f32()
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        self.state.next_f64()
+    }
+
+    /// Returns a uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    #[inline]
+    pub fn next_below(&mut self, bound: u32) -> u32 {
+        self.state.next_below(bound)
+    }
+
+    /// Returns a uniform `f32` in `[lo, hi)`.
+    #[inline]
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.next_f32()
+    }
+
+    /// Returns a standard normal variate (Box-Muller).
+    #[inline]
+    pub fn normal(&mut self) -> f32 {
+        if let Some(z) = self.gauss_spare.take() {
+            return z;
+        }
+        loop {
+            let u1 = self.next_f32();
+            if u1 <= f32::MIN_POSITIVE {
+                continue;
+            }
+            let u2 = self.next_f32();
+            let r = (-2.0 * u1.ln()).sqrt();
+            let (s, c) = (2.0 * core::f32::consts::PI * u2).sin_cos();
+            self.gauss_spare = Some(r * s);
+            return r * c;
+        }
+    }
+
+    /// Returns a normal variate with the given mean and standard deviation.
+    #[inline]
+    pub fn normal_with(&mut self, mean: f32, std: f32) -> f32 {
+        mean + std * self.normal()
+    }
+
+    /// Returns `true` with probability `p`.
+    #[inline]
+    pub fn bernoulli(&mut self, p: f32) -> bool {
+        self.next_f32() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_independent_of_consumption() {
+        let root = Philox::from_seed(5);
+        // Consume a lot from one stream; another stream is unaffected.
+        let mut noisy = root.stream(StreamId::SHUFFLE);
+        for _ in 0..1_000 {
+            noisy.next_u32();
+        }
+        let a = root.stream(StreamId::INIT).next_u32();
+        let fresh_root = Philox::from_seed(5);
+        let b = fresh_root.stream(StreamId::INIT).next_u32();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sibling_streams_differ() {
+        let root = Philox::from_seed(5);
+        let a: Vec<u32> = {
+            let mut s = root.stream(StreamId::DROPOUT.child(0));
+            (0..8).map(|_| s.next_u32()).collect()
+        };
+        let b: Vec<u32> = {
+            let mut s = root.stream(StreamId::DROPOUT.child(1));
+            (0..8).map(|_| s.next_u32()).collect()
+        };
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn child_zero_differs_from_parent() {
+        assert_ne!(
+            StreamId::INIT.salt(),
+            StreamId::INIT.child(0).salt(),
+            "depth must participate in the salt"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at most three levels")]
+    fn four_levels_panics() {
+        StreamId::TEST.child(0).child(0).child(0).child(0);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let root = Philox::from_seed(17);
+        let mut s = root.stream(StreamId::TEST);
+        let n = 200_000;
+        let xs: Vec<f32> = (0..n).map(|_| s.normal()).collect();
+        let mean: f64 = xs.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
+        let var: f64 =
+            xs.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn bernoulli_rate() {
+        let root = Philox::from_seed(23);
+        let mut s = root.stream(StreamId::TEST);
+        let hits = (0..100_000).filter(|_| s.bernoulli(0.3)).count();
+        assert!((28_000..32_000).contains(&hits), "hits {hits}");
+    }
+}

@@ -1,0 +1,72 @@
+//! Property-based tests for the deterministic RNG substrate.
+
+use detrand::{permutation, Philox, SeedPolicy, SplitMix64, StreamId};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn philox_replay_is_exact(seed in any::<u64>(), ctr in any::<u64>(), n in 1usize..64) {
+        let g = Philox::from_seed(seed);
+        let mut a = g.rng_at(ctr as u128);
+        let mut b = g.rng_at(ctr as u128);
+        for _ in 0..n {
+            prop_assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn philox_f32_in_unit_interval(seed in any::<u64>()) {
+        let mut r = Philox::from_seed(seed).rng_at(0);
+        for _ in 0..64 {
+            let x = r.next_f32();
+            prop_assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_below_bound_holds(seed in any::<u64>(), bound in 1u32..1_000_000) {
+        let mut r = Philox::from_seed(seed).rng_at(0);
+        for _ in 0..32 {
+            prop_assert!(r.next_below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn derived_keys_injective_over_salts(seed in any::<u64>(), s1 in any::<u64>(), s2 in any::<u64>()) {
+        prop_assume!(s1 != s2);
+        let g = Philox::from_seed(seed);
+        prop_assert_ne!(g.derive(s1).key(), g.derive(s2).key());
+    }
+
+    #[test]
+    fn permutation_is_bijective(seed in any::<u64>(), n in 0usize..256) {
+        let mut rng = Philox::from_seed(seed).stream(StreamId::SHUFFLE);
+        let p = permutation(&mut rng, n);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn seed_policy_fixed_constant(base in any::<u64>(), r in any::<u32>()) {
+        prop_assert_eq!(SeedPolicy::Fixed.seed_for(base, r), base);
+    }
+
+    #[test]
+    fn seed_policy_per_replica_distinct(base in any::<u64>(), r1 in 0u32..1024, r2 in 0u32..1024) {
+        prop_assume!(r1 != r2);
+        prop_assert_ne!(
+            SeedPolicy::PerReplica.seed_for(base, r1),
+            SeedPolicy::PerReplica.seed_for(base, r2)
+        );
+    }
+
+    #[test]
+    fn splitmix_deterministic(seed in any::<u64>()) {
+        let mut a = SplitMix64::new(seed);
+        let mut b = SplitMix64::new(seed);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

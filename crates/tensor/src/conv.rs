@@ -1,0 +1,512 @@
+//! 2-D convolution (im2col formulation) with explicit accumulation order.
+//!
+//! Convolutions are where cuDNN's determinism trade-offs live, so they get
+//! first-class treatment here: the forward inner products, and crucially the
+//! *weight-gradient reduction across the whole batch* (the reduction the
+//! paper singles out as an overlooked source of implementation noise), all
+//! flow through the [`Reducer`].
+
+use crate::error::ShapeError;
+use crate::linalg::matmul;
+use crate::reduce::Reducer;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Geometry of a 2-D convolution.
+///
+/// # Example
+///
+/// ```
+/// use nstensor::ConvGeometry;
+/// let g = ConvGeometry::new(3, 16, 3, 1, 1, 8, 8);
+/// assert_eq!(g.out_h(), 8);
+/// assert_eq!(g.patch_len(), 27);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvGeometry {
+    /// Input channels.
+    pub in_c: usize,
+    /// Output channels.
+    pub out_c: usize,
+    /// Square filter size.
+    pub k: usize,
+    /// Stride (both axes).
+    pub stride: usize,
+    /// Zero padding (both axes).
+    pub pad: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+}
+
+impl ConvGeometry {
+    /// Creates a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero (except `pad`) or the filter does not
+    /// fit the padded input.
+    pub fn new(
+        in_c: usize,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        in_h: usize,
+        in_w: usize,
+    ) -> Self {
+        assert!(in_c > 0 && out_c > 0 && k > 0 && stride > 0 && in_h > 0 && in_w > 0);
+        assert!(
+            in_h + 2 * pad >= k && in_w + 2 * pad >= k,
+            "filter {k} larger than padded input {}x{}",
+            in_h + 2 * pad,
+            in_w + 2 * pad
+        );
+        Self {
+            in_c,
+            out_c,
+            k,
+            stride,
+            pad,
+            in_h,
+            in_w,
+        }
+    }
+
+    /// Output height.
+    pub fn out_h(&self) -> usize {
+        (self.in_h + 2 * self.pad - self.k) / self.stride + 1
+    }
+
+    /// Output width.
+    pub fn out_w(&self) -> usize {
+        (self.in_w + 2 * self.pad - self.k) / self.stride + 1
+    }
+
+    /// Receptive-field (patch) length: `in_c * k * k`.
+    pub fn patch_len(&self) -> usize {
+        self.in_c * self.k * self.k
+    }
+
+    /// Number of output pixels per channel.
+    pub fn out_pixels(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+
+    /// Multiply-accumulate count for one forward pass over a batch of `n`.
+    pub fn flops(&self, n: usize) -> u64 {
+        2 * (n * self.out_c * self.out_pixels() * self.patch_len()) as u64
+    }
+}
+
+/// Gradients produced by [`conv2d_backward`].
+#[derive(Debug, Clone)]
+pub struct Conv2dGrads {
+    /// Gradient w.r.t. the input, `[N, C, H, W]`.
+    pub dx: Tensor,
+    /// Gradient w.r.t. the weights, `[out_c, patch_len]`.
+    pub dw: Tensor,
+    /// Gradient w.r.t. the bias, `[out_c]`.
+    pub db: Tensor,
+}
+
+/// Lowers one sample into patch-major (`[out_pixels, patch_len]`) layout.
+fn im2col(x: &[f32], g: &ConvGeometry, out: &mut [f32]) {
+    let (oh, ow, pl) = (g.out_h(), g.out_w(), g.patch_len());
+    debug_assert_eq!(out.len(), oh * ow * pl);
+    let kk = g.k * g.k;
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let row = (oy * ow + ox) * pl;
+            for c in 0..g.in_c {
+                let chan = &x[c * g.in_h * g.in_w..(c + 1) * g.in_h * g.in_w];
+                for ky in 0..g.k {
+                    let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                    for kx in 0..g.k {
+                        let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                        let v = if iy >= 0
+                            && ix >= 0
+                            && (iy as usize) < g.in_h
+                            && (ix as usize) < g.in_w
+                        {
+                            chan[iy as usize * g.in_w + ix as usize]
+                        } else {
+                            0.0
+                        };
+                        out[row + c * kk + ky * g.k + kx] = v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scatters patch-major gradients back into an input-shaped buffer.
+fn col2im(dcol: &[f32], g: &ConvGeometry, out: &mut [f32]) {
+    let (oh, ow, pl) = (g.out_h(), g.out_w(), g.patch_len());
+    let kk = g.k * g.k;
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let row = (oy * ow + ox) * pl;
+            for c in 0..g.in_c {
+                for ky in 0..g.k {
+                    let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                    for kx in 0..g.k {
+                        let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                        if iy >= 0 && ix >= 0 && (iy as usize) < g.in_h && (ix as usize) < g.in_w {
+                            out[c * g.in_h * g.in_w + iy as usize * g.in_w + ix as usize] +=
+                                dcol[row + c * kk + ky * g.k + kx];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Forward 2-D convolution.
+///
+/// `input` is `[N, in_c, in_h, in_w]`, `weights` is `[out_c, patch_len]`
+/// (flattened `[out_c, in_c, k, k]`), `bias` is `[out_c]`. Returns
+/// `[N, out_c, out_h, out_w]`.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if any operand disagrees with `geom`.
+pub fn conv2d_forward(
+    input: &Tensor,
+    weights: &Tensor,
+    bias: &Tensor,
+    geom: &ConvGeometry,
+    red: &mut Reducer,
+) -> Result<Tensor, ShapeError> {
+    validate(input, weights, bias, geom)?;
+    let n = input.shape().dim(0);
+    let (oh, ow, oc, pl) = (geom.out_h(), geom.out_w(), geom.out_c, geom.patch_len());
+    let pixels = oh * ow;
+    let mut out = Tensor::zeros(Shape::of(&[n, oc, oh, ow]));
+    let mut col = vec![0f32; pixels * pl];
+    let xin = input.as_slice();
+    let wv = weights.as_slice();
+    let bv = bias.as_slice();
+    let ov = out.as_mut_slice();
+    let sample = geom.in_c * geom.in_h * geom.in_w;
+    for s in 0..n {
+        im2col(&xin[s * sample..(s + 1) * sample], geom, &mut col);
+        let obase = s * oc * pixels;
+        for o in 0..oc {
+            let wrow = &wv[o * pl..(o + 1) * pl];
+            for p in 0..pixels {
+                let patch = &col[p * pl..(p + 1) * pl];
+                ov[obase + o * pixels + p] = red.dot(wrow, patch) + bv[o];
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Backward 2-D convolution: gradients w.r.t. input, weights and bias.
+///
+/// The weight gradient is computed as a *single* matmul whose inner
+/// dimension spans every (sample, pixel) pair in the batch — the exact
+/// cross-data-point reduction whose accumulation order the paper identifies
+/// as a latent implementation-noise source.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if any operand disagrees with `geom`.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weights: &Tensor,
+    dy: &Tensor,
+    geom: &ConvGeometry,
+    red: &mut Reducer,
+) -> Result<Conv2dGrads, ShapeError> {
+    let bias = Tensor::zeros(Shape::of(&[geom.out_c]));
+    validate(input, weights, &bias, geom)?;
+    let n = input.shape().dim(0);
+    let (oh, ow, oc, pl) = (geom.out_h(), geom.out_w(), geom.out_c, geom.patch_len());
+    let pixels = oh * ow;
+    if dy.shape() != Shape::of(&[n, oc, oh, ow]) {
+        return Err(ShapeError::new(
+            "conv2d_backward",
+            format!("dy shape {} != [{n}, {oc}, {oh}, {ow}]", dy.shape()),
+        ));
+    }
+
+    let xin = input.as_slice();
+    let dyv = dy.as_slice();
+    let wv = weights.as_slice();
+    let sample = geom.in_c * geom.in_h * geom.in_w;
+    let np = n * pixels;
+
+    // --- all-batch im2col: [N*pixels, patch_len] ---
+    let mut col_all = vec![0f32; np * pl];
+    for s in 0..n {
+        im2col(
+            &xin[s * sample..(s + 1) * sample],
+            geom,
+            &mut col_all[s * pixels * pl..(s + 1) * pixels * pl],
+        );
+    }
+
+    // --- dW = dYr [oc, N*pixels] × col_all [N*pixels, pl] ---
+    // Rearrange dy from [N, oc, pixels] to [oc, N*pixels].
+    let mut dy_r = vec![0f32; oc * np];
+    for s in 0..n {
+        for o in 0..oc {
+            let src = &dyv[(s * oc + o) * pixels..(s * oc + o + 1) * pixels];
+            dy_r[o * np + s * pixels..o * np + (s + 1) * pixels].copy_from_slice(src);
+        }
+    }
+    let dy_rt = Tensor::from_vec(Shape::of(&[oc, np]), dy_r).expect("internal shape");
+    let col_t = Tensor::from_vec(Shape::of(&[np, pl]), col_all).expect("internal shape");
+    let dw = matmul(&dy_rt, &col_t, red)?;
+
+    // --- db[o] = Σ_{s,p} dy[s,o,p] (cross-batch reduction) ---
+    let mut db = Tensor::zeros(Shape::of(&[oc]));
+    {
+        let dbv = db.as_mut_slice();
+        let dyr = dy_rt.as_slice();
+        for o in 0..oc {
+            dbv[o] = red.sum(&dyr[o * np..(o + 1) * np]);
+        }
+    }
+
+    // --- dX: per-sample dcolT = dY_sᵀ [pixels, oc] × W [oc, pl], then col2im ---
+    let mut dx = Tensor::zeros(input.shape());
+    let dxv = dx.as_mut_slice();
+    let mut dyt = vec![0f32; pixels * oc];
+    let mut dcol = vec![0f32; pixels * pl];
+    for s in 0..n {
+        for o in 0..oc {
+            for p in 0..pixels {
+                dyt[p * oc + o] = dyv[(s * oc + o) * pixels + p];
+            }
+        }
+        for p in 0..pixels {
+            let dyrow = &dyt[p * oc..(p + 1) * oc];
+            for j in 0..pl {
+                // dcol[p, j] = Σ_o dy[p, o] * w[o, j] — strided over w.
+                let mut lane = [0f32; crate::reduce::MAX_LANES];
+                let lc = red.lanes().min(oc.max(1));
+                for o in 0..oc {
+                    lane[o % lc] += dyrow[o] * wv[o * pl + j];
+                }
+                dcol[p * pl + j] = lane[..lc].iter().sum();
+            }
+        }
+        col2im(&dcol, geom, &mut dxv[s * sample..(s + 1) * sample]);
+    }
+
+    Ok(Conv2dGrads { dx, dw, db })
+}
+
+fn validate(
+    input: &Tensor,
+    weights: &Tensor,
+    bias: &Tensor,
+    g: &ConvGeometry,
+) -> Result<(), ShapeError> {
+    if input.shape().rank() != 4
+        || input.shape().dim(1) != g.in_c
+        || input.shape().dim(2) != g.in_h
+        || input.shape().dim(3) != g.in_w
+    {
+        return Err(ShapeError::new(
+            "conv2d",
+            format!(
+                "input {} incompatible with geometry (C={}, H={}, W={})",
+                input.shape(),
+                g.in_c,
+                g.in_h,
+                g.in_w
+            ),
+        ));
+    }
+    if weights.shape() != Shape::of(&[g.out_c, g.patch_len()]) {
+        return Err(ShapeError::new(
+            "conv2d",
+            format!(
+                "weights {} != [{}, {}]",
+                weights.shape(),
+                g.out_c,
+                g.patch_len()
+            ),
+        ));
+    }
+    if bias.shape() != Shape::of(&[g.out_c]) {
+        return Err(ShapeError::new(
+            "conv2d",
+            format!("bias {} != [{}]", bias.shape(), g.out_c),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Direct (quadruple-loop) reference convolution in f64.
+    fn reference_conv(x: &Tensor, w: &Tensor, b: &Tensor, g: &ConvGeometry) -> Vec<f64> {
+        let n = x.shape().dim(0);
+        let (oh, ow) = (g.out_h(), g.out_w());
+        let mut out = vec![0f64; n * g.out_c * oh * ow];
+        for s in 0..n {
+            for o in 0..g.out_c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = b.as_slice()[o] as f64;
+                        for c in 0..g.in_c {
+                            for ky in 0..g.k {
+                                for kx in 0..g.k {
+                                    let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                                    let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                                    if iy >= 0
+                                        && ix >= 0
+                                        && (iy as usize) < g.in_h
+                                        && (ix as usize) < g.in_w
+                                    {
+                                        let xv = x.get4(s, c, iy as usize, ix as usize) as f64;
+                                        let wv = w.as_slice()
+                                            [o * g.patch_len() + c * g.k * g.k + ky * g.k + kx]
+                                            as f64;
+                                        acc += xv * wv;
+                                    }
+                                }
+                            }
+                        }
+                        out[((s * g.out_c + o) * oh + oy) * ow + ox] = acc;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn setup(g: &ConvGeometry, n: usize) -> (Tensor, Tensor, Tensor) {
+        let mut seed = 12345u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((seed >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        };
+        let x = Tensor::from_vec(
+            Shape::of(&[n, g.in_c, g.in_h, g.in_w]),
+            (0..n * g.in_c * g.in_h * g.in_w).map(|_| next()).collect(),
+        )
+        .unwrap();
+        let w = Tensor::from_vec(
+            Shape::of(&[g.out_c, g.patch_len()]),
+            (0..g.out_c * g.patch_len()).map(|_| next()).collect(),
+        )
+        .unwrap();
+        let b = Tensor::from_vec(
+            Shape::of(&[g.out_c]),
+            (0..g.out_c).map(|_| next()).collect(),
+        )
+        .unwrap();
+        (x, w, b)
+    }
+
+    #[test]
+    fn forward_matches_reference() {
+        for (k, stride, pad) in [(3, 1, 1), (1, 1, 0), (3, 2, 1), (5, 1, 2)] {
+            let g = ConvGeometry::new(2, 3, k, stride, pad, 6, 6);
+            let (x, w, b) = setup(&g, 2);
+            let y = conv2d_forward(&x, &w, &b, &g, &mut Reducer::sequential()).unwrap();
+            let r = reference_conv(&x, &w, &b, &g);
+            for (a, e) in y.as_slice().iter().zip(&r) {
+                assert!((*a as f64 - e).abs() < 1e-4, "k={k}: {a} vs {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn geometry_dims() {
+        let g = ConvGeometry::new(3, 8, 3, 2, 1, 8, 8);
+        assert_eq!(g.out_h(), 4);
+        assert_eq!(g.out_w(), 4);
+        assert_eq!(g.out_pixels(), 16);
+        assert!(g.flops(1) > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than padded input")]
+    fn oversized_filter_panics() {
+        ConvGeometry::new(1, 1, 9, 1, 0, 4, 4);
+    }
+
+    #[test]
+    fn backward_gradients_match_finite_difference() {
+        let g = ConvGeometry::new(2, 2, 3, 1, 1, 4, 4);
+        let (x, w, b) = setup(&g, 2);
+        let n = 2;
+        // Scalar loss L = Σ y², so dL/dy = 2y.
+        let y = conv2d_forward(&x, &w, &b, &g, &mut Reducer::sequential()).unwrap();
+        let mut dy = y.clone();
+        dy.scale(2.0);
+        let grads =
+            conv2d_backward(&x, &w, &dy, &g, &mut Reducer::sequential()).unwrap();
+
+        let loss = |x: &Tensor, w: &Tensor, b: &Tensor| -> f64 {
+            let y = conv2d_forward(x, w, b, &g, &mut Reducer::sequential()).unwrap();
+            y.as_slice().iter().map(|&v| (v as f64) * (v as f64)).sum()
+        };
+        let eps = 1e-2f32;
+        // Check a scattering of weight coordinates.
+        for idx in [0usize, 3, 7, 11, 17] {
+            let mut wp = w.clone();
+            wp.as_mut_slice()[idx] += eps;
+            let mut wm = w.clone();
+            wm.as_mut_slice()[idx] -= eps;
+            let fd = (loss(&x, &wp, &b) - loss(&x, &wm, &b)) / (2.0 * eps as f64);
+            let an = grads.dw.as_slice()[idx] as f64;
+            assert!(
+                (fd - an).abs() < 0.05 * fd.abs().max(1.0),
+                "dw[{idx}]: fd {fd} vs analytic {an}"
+            );
+        }
+        // And input coordinates.
+        for idx in [0usize, 5, 13, 30] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let fd = (loss(&xp, &w, &b) - loss(&xm, &w, &b)) / (2.0 * eps as f64);
+            let an = grads.dx.as_slice()[idx] as f64;
+            assert!(
+                (fd - an).abs() < 0.05 * fd.abs().max(1.0),
+                "dx[{idx}]: fd {fd} vs analytic {an}"
+            );
+        }
+        // Bias gradient = Σ dy per channel.
+        let pixels = g.out_pixels();
+        for o in 0..g.out_c {
+            let mut s = 0f64;
+            for smp in 0..n {
+                for p in 0..pixels {
+                    s += dy.as_slice()[(smp * g.out_c + o) * pixels + p] as f64;
+                }
+            }
+            let an = grads.db.as_slice()[o] as f64;
+            assert!((s - an).abs() < 1e-3 * s.abs().max(1.0), "db[{o}]");
+        }
+    }
+
+    #[test]
+    fn shape_validation_errors() {
+        let g = ConvGeometry::new(2, 3, 3, 1, 1, 4, 4);
+        let (x, w, b) = setup(&g, 1);
+        let bad_w = Tensor::zeros(Shape::of(&[3, 10]));
+        assert!(conv2d_forward(&x, &bad_w, &b, &g, &mut Reducer::sequential()).is_err());
+        let bad_b = Tensor::zeros(Shape::of(&[4]));
+        assert!(conv2d_forward(&x, &w, &bad_b, &g, &mut Reducer::sequential()).is_err());
+        let bad_x = Tensor::zeros(Shape::of(&[1, 1, 4, 4]));
+        assert!(conv2d_forward(&bad_x, &w, &b, &g, &mut Reducer::sequential()).is_err());
+        let bad_dy = Tensor::zeros(Shape::of(&[1, 3, 9, 9]));
+        assert!(conv2d_backward(&x, &w, &bad_dy, &g, &mut Reducer::sequential()).is_err());
+    }
+}

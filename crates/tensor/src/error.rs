@@ -1,0 +1,68 @@
+//! Error types.
+
+use crate::shape::Shape;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when tensor shapes are incompatible with an operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    op: &'static str,
+    detail: String,
+}
+
+impl ShapeError {
+    /// Creates a shape error for operation `op` with a human-readable detail.
+    pub fn new(op: &'static str, detail: impl Into<String>) -> Self {
+        Self {
+            op,
+            detail: detail.into(),
+        }
+    }
+
+    /// Convenience constructor for a two-operand mismatch.
+    pub fn mismatch(op: &'static str, a: &Shape, b: &Shape) -> Self {
+        Self::new(op, format!("incompatible shapes {a} and {b}"))
+    }
+
+    /// The operation that rejected the shapes.
+    pub fn op(&self) -> &'static str {
+        self.op
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shape error in {}: {}", self.op, self.detail)
+    }
+}
+
+impl Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_op_and_detail() {
+        let e = ShapeError::new("matmul", "inner dims 3 vs 4");
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("inner dims"));
+    }
+
+    #[test]
+    fn mismatch_formats_shapes() {
+        let a = Shape::of(&[2, 3]);
+        let b = Shape::of(&[4, 5]);
+        let e = ShapeError::mismatch("add", &a, &b);
+        assert!(e.to_string().contains("[2, 3]"));
+        assert_eq!(e.op(), "add");
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<ShapeError>();
+    }
+}

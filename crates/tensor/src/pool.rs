@@ -1,0 +1,251 @@
+//! Pooling operations.
+//!
+//! Max-pooling selects rather than accumulates, so it introduces no
+//! floating-point-order sensitivity of its own; global average pooling does
+//! reduce and therefore takes a [`Reducer`].
+
+use crate::error::ShapeError;
+use crate::reduce::Reducer;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Forward 2-D max pooling with square window `k` and stride `k`
+/// (non-overlapping), input `[N, C, H, W]`.
+///
+/// Returns the pooled tensor and the flat argmax index (within the sample's
+/// channel plane) for each output element, needed by the backward pass.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if the input is not rank 4 or not divisible by `k`.
+pub fn maxpool2d_forward(input: &Tensor, k: usize) -> Result<(Tensor, Vec<u32>), ShapeError> {
+    if input.shape().rank() != 4 {
+        return Err(ShapeError::new("maxpool2d", "expected rank-4 input"));
+    }
+    let (n, c, h, w) = (
+        input.shape().dim(0),
+        input.shape().dim(1),
+        input.shape().dim(2),
+        input.shape().dim(3),
+    );
+    if k == 0 || h % k != 0 || w % k != 0 {
+        return Err(ShapeError::new(
+            "maxpool2d",
+            format!("input {h}x{w} not divisible by window {k}"),
+        ));
+    }
+    let (oh, ow) = (h / k, w / k);
+    let mut out = Tensor::zeros(Shape::of(&[n, c, oh, ow]));
+    let mut arg = vec![0u32; n * c * oh * ow];
+    let xv = input.as_slice();
+    let ov = out.as_mut_slice();
+    for s in 0..n {
+        for ch in 0..c {
+            let plane = &xv[(s * c + ch) * h * w..(s * c + ch + 1) * h * w];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_i = 0usize;
+                    for dy in 0..k {
+                        for dx in 0..k {
+                            let i = (oy * k + dy) * w + ox * k + dx;
+                            if plane[i] > best {
+                                best = plane[i];
+                                best_i = i;
+                            }
+                        }
+                    }
+                    let o = ((s * c + ch) * oh + oy) * ow + ox;
+                    ov[o] = best;
+                    arg[o] = best_i as u32;
+                }
+            }
+        }
+    }
+    Ok((out, arg))
+}
+
+/// Backward 2-D max pooling: routes each output gradient to its argmax.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `dy` does not match the pooled shape implied by
+/// `input_shape` and `k`.
+pub fn maxpool2d_backward(
+    input_shape: Shape,
+    k: usize,
+    dy: &Tensor,
+    argmax: &[u32],
+) -> Result<Tensor, ShapeError> {
+    let (n, c, h, w) = (
+        input_shape.dim(0),
+        input_shape.dim(1),
+        input_shape.dim(2),
+        input_shape.dim(3),
+    );
+    let (oh, ow) = (h / k, w / k);
+    if dy.shape() != Shape::of(&[n, c, oh, ow]) || argmax.len() != dy.len() {
+        return Err(ShapeError::new("maxpool2d_backward", "dy/argmax mismatch"));
+    }
+    let mut dx = Tensor::zeros(input_shape);
+    let dyv = dy.as_slice();
+    let dxv = dx.as_mut_slice();
+    for s in 0..n {
+        for ch in 0..c {
+            let base = (s * c + ch) * h * w;
+            for o in (s * c + ch) * oh * ow..(s * c + ch + 1) * oh * ow {
+                dxv[base + argmax[o] as usize] += dyv[o];
+            }
+        }
+    }
+    Ok(dx)
+}
+
+/// Forward global average pooling: `[N, C, H, W]` → `[N, C]`.
+///
+/// The spatial mean is an accumulation and goes through the reducer.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if the input is not rank 4.
+pub fn global_avg_pool_forward(input: &Tensor, red: &mut Reducer) -> Result<Tensor, ShapeError> {
+    if input.shape().rank() != 4 {
+        return Err(ShapeError::new("global_avg_pool", "expected rank-4 input"));
+    }
+    let (n, c, h, w) = (
+        input.shape().dim(0),
+        input.shape().dim(1),
+        input.shape().dim(2),
+        input.shape().dim(3),
+    );
+    let hw = h * w;
+    let mut out = Tensor::zeros(Shape::of(&[n, c]));
+    let xv = input.as_slice();
+    let ov = out.as_mut_slice();
+    let inv = 1.0 / hw as f32;
+    for s in 0..n {
+        for ch in 0..c {
+            let plane = &xv[(s * c + ch) * hw..(s * c + ch + 1) * hw];
+            ov[s * c + ch] = red.sum(plane) * inv;
+        }
+    }
+    Ok(out)
+}
+
+/// Backward global average pooling: spreads `dy/[H·W]` uniformly.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `dy` is not `[N, C]` for the given input shape.
+pub fn global_avg_pool_backward(input_shape: Shape, dy: &Tensor) -> Result<Tensor, ShapeError> {
+    let (n, c, h, w) = (
+        input_shape.dim(0),
+        input_shape.dim(1),
+        input_shape.dim(2),
+        input_shape.dim(3),
+    );
+    if dy.shape() != Shape::of(&[n, c]) {
+        return Err(ShapeError::new("global_avg_pool_backward", "dy mismatch"));
+    }
+    let hw = h * w;
+    let inv = 1.0 / hw as f32;
+    let mut dx = Tensor::zeros(input_shape);
+    let dyv = dy.as_slice();
+    let dxv = dx.as_mut_slice();
+    for s in 0..n {
+        for ch in 0..c {
+            let g = dyv[s * c + ch] * inv;
+            for v in &mut dxv[(s * c + ch) * hw..(s * c + ch + 1) * hw] {
+                *v = g;
+            }
+        }
+    }
+    Ok(dx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_picks_maxima() {
+        let x = Tensor::from_vec(
+            Shape::of(&[1, 1, 4, 4]),
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                9.0, 10.0, 13.0, 14.0, //
+                11.0, 12.0, 15.0, 16.0,
+            ],
+        )
+        .unwrap();
+        let (y, arg) = maxpool2d_forward(&x, 2).unwrap();
+        assert_eq!(y.as_slice(), &[4.0, 8.0, 12.0, 16.0]);
+        assert_eq!(arg, vec![5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let x = Tensor::from_vec(
+            Shape::of(&[1, 1, 2, 2]),
+            vec![1.0, 9.0, 3.0, 4.0],
+        )
+        .unwrap();
+        let (_, arg) = maxpool2d_forward(&x, 2).unwrap();
+        let dy = Tensor::from_vec(Shape::of(&[1, 1, 1, 1]), vec![5.0]).unwrap();
+        let dx = maxpool2d_backward(x.shape(), 2, &dy, &arg).unwrap();
+        assert_eq!(dx.as_slice(), &[0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn maxpool_rejects_indivisible() {
+        let x = Tensor::zeros(Shape::of(&[1, 1, 5, 4]));
+        assert!(maxpool2d_forward(&x, 2).is_err());
+    }
+
+    #[test]
+    fn gap_is_mean() {
+        let x = Tensor::from_vec(
+            Shape::of(&[1, 2, 2, 2]),
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0],
+        )
+        .unwrap();
+        let y = global_avg_pool_forward(&x, &mut Reducer::sequential()).unwrap();
+        assert_eq!(y.as_slice(), &[2.5, 10.0]);
+    }
+
+    #[test]
+    fn gap_backward_uniform() {
+        let shape = Shape::of(&[1, 1, 2, 2]);
+        let dy = Tensor::from_vec(Shape::of(&[1, 1]), vec![8.0]).unwrap();
+        let dx = global_avg_pool_backward(shape, &dy).unwrap();
+        assert_eq!(dx.as_slice(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn gap_gradient_check() {
+        // L = Σ gap(x)², dL/dx must match finite differences.
+        let x = Tensor::from_vec(
+            Shape::of(&[1, 1, 2, 2]),
+            vec![1.0, -2.0, 0.5, 3.0],
+        )
+        .unwrap();
+        let loss = |x: &Tensor| -> f64 {
+            let y = global_avg_pool_forward(x, &mut Reducer::sequential()).unwrap();
+            y.as_slice().iter().map(|&v| (v as f64).powi(2)).sum()
+        };
+        let y = global_avg_pool_forward(&x, &mut Reducer::sequential()).unwrap();
+        let mut dy = y.clone();
+        dy.scale(2.0);
+        let dx = global_avg_pool_backward(x.shape(), &dy).unwrap();
+        let eps = 1e-3f32;
+        for i in 0..4 {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let fd = (loss(&xp) - loss(&xm)) / (2.0 * eps as f64);
+            assert!((fd - dx.as_slice()[i] as f64).abs() < 1e-3, "i={i}");
+        }
+    }
+}

@@ -1,0 +1,414 @@
+//! Order-sensitive floating-point reduction.
+//!
+//! This module is the physical site of *implementation noise* in the
+//! reproduction. A [`Reducer`] performs every sum and dot product in the
+//! training hot path; its [`ReduceOrder`] decides whether the combination
+//! order of partial sums is fixed (deterministic execution) or perturbed by
+//! a scheduler RNG between calls (nondeterministic execution, as on GPUs
+//! whose atomics and split-K kernels combine partials in arrival order).
+//!
+//! Two fidelity tiers are supported:
+//!
+//! - **Order-only** (`amp_ulps == 0`): the partial sums are mathematically
+//!   identical across orders and differ only through f32 rounding — a
+//!   faithful model, producing 1-ulp seeds that amplify through SGD.
+//! - **Amplified** (`amp_ulps > 0`): an additional relative perturbation of
+//!   `amp_ulps` ulps is applied to the combined result, modelling the far
+//!   longer accumulation chains (millions of MACs) of full-scale workloads
+//!   that a scaled-down simulation cannot afford to execute. The
+//!   perturbation is proportional to the result's magnitude and vanishes
+//!   identically under deterministic orders.
+
+use detrand::SplitMix64;
+use serde::{Deserialize, Serialize};
+
+/// Maximum number of accumulation lanes a reducer will materialize.
+///
+/// Real devices have thousands of FP units; the *noise-relevant* property is
+/// the number of independently-ordered partial sums, which saturates quickly.
+/// Device models map core counts into `8..=MAX_LANES`.
+pub const MAX_LANES: usize = 64;
+
+/// The accumulation-order policy of a [`Reducer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReduceOrder {
+    /// Left-to-right single-lane accumulation. Reference CPU semantics.
+    Sequential,
+    /// Strided multi-lane partials combined in fixed (index) order.
+    /// Deterministic: bitwise-stable across calls and runs. Models
+    /// deterministic GPU kernels and TPU systolic arrays.
+    FixedTree,
+    /// Strided multi-lane partials combined in an order perturbed by the
+    /// scheduler RNG on every call. Models nondeterministic GPU kernels
+    /// (atomic split-K, Winograd with atomic reductions, ...).
+    Permuted,
+}
+
+impl ReduceOrder {
+    /// Whether this order is bitwise reproducible across runs.
+    pub fn is_deterministic(self) -> bool {
+        !matches!(self, ReduceOrder::Permuted)
+    }
+}
+
+/// An order-sensitive reduction engine.
+///
+/// Cheap to construct; typically one per simulated device execution stream.
+/// See the [crate-level docs](crate) for an example.
+#[derive(Debug, Clone)]
+pub struct Reducer {
+    order: ReduceOrder,
+    lanes: usize,
+    sched: SplitMix64,
+    /// Relative perturbation amplitude in ulps (0 = faithful order-only).
+    amp_ulps: f32,
+    /// Count of reductions performed (for profiling/attribution).
+    invocations: u64,
+}
+
+impl Reducer {
+    /// Creates a reducer.
+    ///
+    /// `lanes` is clamped into `1..=MAX_LANES`. `sched_seed` seeds the
+    /// scheduler RNG (only consumed by [`ReduceOrder::Permuted`]).
+    pub fn new(order: ReduceOrder, lanes: usize, sched_seed: u64) -> Self {
+        Self {
+            order,
+            lanes: lanes.clamp(1, MAX_LANES),
+            sched: SplitMix64::new(sched_seed),
+            amp_ulps: 0.0,
+            invocations: 0,
+        }
+    }
+
+    /// Sequential reference reducer.
+    pub fn sequential() -> Self {
+        Self::new(ReduceOrder::Sequential, 1, 0)
+    }
+
+    /// Sets the amplified-noise tier (relative perturbation in ulps).
+    ///
+    /// Only affects [`ReduceOrder::Permuted`]; deterministic orders ignore it
+    /// so that deterministic execution stays bitwise stable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ulps` is negative or non-finite.
+    pub fn with_amplification(mut self, ulps: f32) -> Self {
+        assert!(ulps.is_finite() && ulps >= 0.0, "bad amplification {ulps}");
+        self.amp_ulps = ulps;
+        self
+    }
+
+    /// The accumulation-order policy.
+    pub fn order(&self) -> ReduceOrder {
+        self.order
+    }
+
+    /// The effective lane count.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Number of reductions performed so far.
+    pub fn invocations(&self) -> u64 {
+        self.invocations
+    }
+
+    /// Sums a slice under the configured accumulation order.
+    pub fn sum(&mut self, xs: &[f32]) -> f32 {
+        self.invocations += 1;
+        match self.order {
+            ReduceOrder::Sequential => xs.iter().sum(),
+            ReduceOrder::FixedTree => {
+                let mut p = [0f32; MAX_LANES];
+                let l = self.fill_lanes_sum(xs, &mut p);
+                p[..l].iter().sum()
+            }
+            ReduceOrder::Permuted => {
+                let mut p = [0f32; MAX_LANES];
+                let l = self.fill_lanes_sum(xs, &mut p);
+                self.combine_permuted(&mut p[..l])
+            }
+        }
+    }
+
+    /// Dot product of two equal-length slices under the configured order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn dot(&mut self, a: &[f32], b: &[f32]) -> f32 {
+        assert_eq!(a.len(), b.len(), "dot length mismatch");
+        self.invocations += 1;
+        match self.order {
+            ReduceOrder::Sequential => {
+                let mut s = 0f32;
+                for i in 0..a.len() {
+                    s += a[i] * b[i];
+                }
+                s
+            }
+            ReduceOrder::FixedTree => {
+                let mut p = [0f32; MAX_LANES];
+                let l = self.fill_lanes_dot(a, b, &mut p);
+                p[..l].iter().sum()
+            }
+            ReduceOrder::Permuted => {
+                let mut p = [0f32; MAX_LANES];
+                let l = self.fill_lanes_dot(a, b, &mut p);
+                self.combine_permuted(&mut p[..l])
+            }
+        }
+    }
+
+    /// Sums `xs[start], xs[start+stride], ...` (`count` elements) under the
+    /// configured order. Used for reductions over strided tensor axes
+    /// without materializing a copy.
+    pub fn sum_strided(&mut self, xs: &[f32], start: usize, stride: usize, count: usize) -> f32 {
+        self.invocations += 1;
+        let lane_count = self.lanes.min(count.max(1));
+        let mut p = [0f32; MAX_LANES];
+        match self.order {
+            ReduceOrder::Sequential => {
+                let mut s = 0f32;
+                let mut idx = start;
+                for _ in 0..count {
+                    s += xs[idx];
+                    idx += stride;
+                }
+                s
+            }
+            ReduceOrder::FixedTree | ReduceOrder::Permuted => {
+                let mut idx = start;
+                for i in 0..count {
+                    p[i % lane_count] += xs[idx];
+                    idx += stride;
+                }
+                if self.order == ReduceOrder::FixedTree {
+                    p[..lane_count].iter().sum()
+                } else {
+                    self.combine_permuted(&mut p[..lane_count])
+                }
+            }
+        }
+    }
+
+    /// Fills lane partials for a plain sum; returns the lane count used.
+    ///
+    /// Element `i` lands in lane `i mod lanes`, iterated block-wise so the
+    /// inner loop vectorizes.
+    #[inline]
+    fn fill_lanes_sum(&self, xs: &[f32], p: &mut [f32; MAX_LANES]) -> usize {
+        let l = self.lanes.min(xs.len().max(1));
+        let mut chunks = xs.chunks_exact(l);
+        for chunk in &mut chunks {
+            for (lane, &x) in p[..l].iter_mut().zip(chunk) {
+                *lane += x;
+            }
+        }
+        for (lane, &x) in p[..l].iter_mut().zip(chunks.remainder()) {
+            *lane += x;
+        }
+        l
+    }
+
+    /// Fills lane partials for a dot product; returns the lane count used.
+    #[inline]
+    fn fill_lanes_dot(&self, a: &[f32], b: &[f32], p: &mut [f32; MAX_LANES]) -> usize {
+        let l = self.lanes.min(a.len().max(1));
+        let n = a.len();
+        let full = n / l * l;
+        let mut i = 0;
+        while i < full {
+            for j in 0..l {
+                p[j] += a[i + j] * b[i + j];
+            }
+            i += l;
+        }
+        for j in 0..(n - full) {
+            p[j] += a[i + j] * b[i + j];
+        }
+        l
+    }
+
+    /// Combines lane partials in a scheduler-perturbed order, optionally
+    /// applying the amplified-noise tier.
+    #[inline]
+    fn combine_permuted(&mut self, p: &mut [f32]) -> f32 {
+        let l = p.len();
+        if l > 1 {
+            // Two random transpositions followed by a random rotation: cheap
+            // (three RNG draws) yet changes the combine order of most calls.
+            let j1 = self.sched.next_below(l as u32) as usize;
+            let j2 = self.sched.next_below(l as u32) as usize;
+            p.swap(0, j1);
+            p.swap(1.min(l - 1), j2);
+            let rot = self.sched.next_below(l as u32) as usize;
+            let mut s = 0f32;
+            for k in 0..l {
+                s += p[(k + rot) % l];
+            }
+            if self.amp_ulps > 0.0 {
+                let u = (self.sched.next_f64() as f32) * 2.0 - 1.0;
+                s *= 1.0 + u * self.amp_ulps * f32::EPSILON;
+            }
+            s
+        } else {
+            let mut s = p[0];
+            if self.amp_ulps > 0.0 {
+                let u = (self.sched.next_f64() as f32) * 2.0 - 1.0;
+                s *= 1.0 + u * self.amp_ulps * f32::EPSILON;
+            }
+            s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| (((i * 2654435761) % 1000) as f32 - 500.0) * 1.7e-3)
+            .collect()
+    }
+
+    #[test]
+    fn sequential_matches_iter_sum() {
+        let xs = data(100);
+        let mut r = Reducer::sequential();
+        assert_eq!(r.sum(&xs), xs.iter().sum::<f32>());
+    }
+
+    #[test]
+    fn fixed_tree_is_bitwise_stable() {
+        let xs = data(10_000);
+        let mut r1 = Reducer::new(ReduceOrder::FixedTree, 48, 1);
+        let mut r2 = Reducer::new(ReduceOrder::FixedTree, 48, 99);
+        // Different scheduler seeds, same result: seed must be irrelevant.
+        assert_eq!(r1.sum(&xs).to_bits(), r2.sum(&xs).to_bits());
+        // And stable across repeated calls.
+        assert_eq!(r1.sum(&xs).to_bits(), r1.sum(&xs).to_bits());
+    }
+
+    #[test]
+    fn permuted_differs_across_calls_sometimes() {
+        let xs = data(4096);
+        let mut r = Reducer::new(ReduceOrder::Permuted, 48, 7);
+        let first = r.sum(&xs);
+        let mut any_diff = false;
+        for _ in 0..64 {
+            if r.sum(&xs).to_bits() != first.to_bits() {
+                any_diff = true;
+                break;
+            }
+        }
+        assert!(any_diff, "permuted reduction never changed in 64 calls");
+    }
+
+    #[test]
+    fn permuted_error_is_ulp_scale() {
+        let xs = data(4096);
+        let exact: f64 = xs.iter().map(|&x| x as f64).sum();
+        let mut r = Reducer::new(ReduceOrder::Permuted, 48, 7);
+        for _ in 0..100 {
+            let s = r.sum(&xs) as f64;
+            // Accumulation error of a 4096-element f32 sum is bounded well
+            // below 1e-3 for these magnitudes.
+            assert!((s - exact).abs() < 1e-3, "error too large: {}", s - exact);
+        }
+    }
+
+    #[test]
+    fn all_orders_agree_to_f32_tolerance() {
+        let xs = data(2000);
+        let exact: f64 = xs.iter().map(|&x| x as f64).sum();
+        for order in [ReduceOrder::Sequential, ReduceOrder::FixedTree, ReduceOrder::Permuted] {
+            let mut r = Reducer::new(order, 32, 3);
+            let s = r.sum(&xs) as f64;
+            assert!((s - exact).abs() < 1e-3, "{order:?} error {}", s - exact);
+        }
+    }
+
+    #[test]
+    fn dot_matches_reference() {
+        let a = data(512);
+        let b: Vec<f32> = data(512).iter().map(|x| x * 0.5 + 0.1).collect();
+        let exact: f64 = a.iter().zip(&b).map(|(&x, &y)| x as f64 * y as f64).sum();
+        for order in [ReduceOrder::Sequential, ReduceOrder::FixedTree, ReduceOrder::Permuted] {
+            let mut r = Reducer::new(order, 32, 3);
+            let d = r.dot(&a, &b) as f64;
+            assert!((d - exact).abs() < 1e-3, "{order:?} error {}", d - exact);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_rejects_length_mismatch() {
+        Reducer::sequential().dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn sum_strided_matches_dense() {
+        let xs = data(300);
+        let mut r = Reducer::new(ReduceOrder::FixedTree, 16, 0);
+        // Sum every third element starting at 1.
+        let dense: Vec<f32> = xs.iter().skip(1).step_by(3).copied().collect();
+        let a = r.sum_strided(&xs, 1, 3, dense.len());
+        let b = r.sum(&dense);
+        assert!((a - b).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_inputs_sum_to_zero() {
+        for order in [ReduceOrder::Sequential, ReduceOrder::FixedTree, ReduceOrder::Permuted] {
+            let mut r = Reducer::new(order, 32, 1);
+            assert_eq!(r.sum(&[]), 0.0);
+            assert_eq!(r.dot(&[], &[]), 0.0);
+            assert_eq!(r.sum_strided(&[], 0, 1, 0), 0.0);
+        }
+    }
+
+    #[test]
+    fn lanes_are_clamped() {
+        assert_eq!(Reducer::new(ReduceOrder::FixedTree, 0, 0).lanes(), 1);
+        assert_eq!(
+            Reducer::new(ReduceOrder::FixedTree, 10_000, 0).lanes(),
+            MAX_LANES
+        );
+    }
+
+    #[test]
+    fn amplification_respected_only_by_permuted() {
+        let xs = data(128);
+        let mut det = Reducer::new(ReduceOrder::FixedTree, 16, 5).with_amplification(1e6);
+        assert_eq!(det.sum(&xs).to_bits(), det.sum(&xs).to_bits());
+        let mut nd1 = Reducer::new(ReduceOrder::Permuted, 16, 5).with_amplification(1e6);
+        let mut nd2 = Reducer::new(ReduceOrder::Permuted, 16, 6).with_amplification(1e6);
+        assert_ne!(nd1.sum(&xs).to_bits(), nd2.sum(&xs).to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad amplification")]
+    fn negative_amplification_panics() {
+        Reducer::sequential().with_amplification(-1.0);
+    }
+
+    #[test]
+    fn invocation_counter_increments() {
+        let mut r = Reducer::sequential();
+        r.sum(&[1.0]);
+        r.dot(&[1.0], &[2.0]);
+        r.sum_strided(&[1.0, 2.0], 0, 1, 2);
+        assert_eq!(r.invocations(), 3);
+    }
+
+    #[test]
+    fn deterministic_flag() {
+        assert!(ReduceOrder::Sequential.is_deterministic());
+        assert!(ReduceOrder::FixedTree.is_deterministic());
+        assert!(!ReduceOrder::Permuted.is_deterministic());
+    }
+}

@@ -1,0 +1,71 @@
+//! The price of determinism: what does flipping on deterministic kernels
+//! cost *your* model on *your* GPU?
+//!
+//! Uses the calibrated kernel cost model to compare default vs
+//! deterministic training time for the paper's ten profiled networks and
+//! the filter-size sweep, and prints the kernel-level explanation (which
+//! algorithms the autotuner loses access to).
+//!
+//! ```text
+//! cargo run --release -p ns-examples --bin determinism_cost [network]
+//! ```
+
+use hwsim::{select_conv_kernels, Device, ExecutionMode, WorkloadOp};
+use noisescope::experiments::cost;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "ResNet50".into());
+
+    println!("== Determinism overhead across models (batch 64) ==");
+    let all = cost::fig8a(64);
+    for p in all.iter().filter(|p| p.device == "V100") {
+        let bar = "#".repeat(((p.overhead_pct - 100.0) / 5.0).max(0.5) as usize + 1);
+        println!("{:16} {:7.1}%  {}", p.workload, p.overhead_pct, bar);
+    }
+
+    println!("\n== Filter-size sensitivity (medium CNN) ==");
+    for p in cost::fig8b(64) {
+        println!("{:16} {:8} {:7.1}%", p.workload, p.device, p.overhead_pct);
+    }
+
+    // Kernel-level explanation for one network.
+    let descs = nnet::arch::profiled_networks(64);
+    let desc = descs
+        .iter()
+        .find(|d| d.name.eq_ignore_ascii_case(&which))
+        .unwrap_or(&descs[5]);
+    println!("\n== Why: kernel selection for {} on V100 ==", desc.name);
+    let mut shown = 0;
+    for op in &desc.ops {
+        if let WorkloadOp::Conv { geom, batch } = op {
+            let nd = select_conv_kernels(geom, *batch, &Device::v100(), ExecutionMode::Default);
+            let det =
+                select_conv_kernels(geom, *batch, &Device::v100(), ExecutionMode::Deterministic);
+            if nd.forward.algorithm != det.forward.algorithm
+                || nd.weight_grad.algorithm != det.weight_grad.algorithm
+            {
+                println!(
+                    "conv {}x{} {:>4}->{:<4}: fwd {:?} -> {:?}, wgrad {:?} -> {:?} ({:.0}% slower)",
+                    geom.k,
+                    geom.k,
+                    geom.in_c,
+                    geom.out_c,
+                    nd.forward.algorithm,
+                    det.forward.algorithm,
+                    nd.weight_grad.algorithm,
+                    det.weight_grad.algorithm,
+                    100.0 * (det.total_time_s() / nd.total_time_s() - 1.0),
+                );
+                shown += 1;
+                if shown >= 8 {
+                    println!("... ({} convolutions total)", desc.ops.len());
+                    break;
+                }
+            }
+        }
+    }
+    println!(
+        "\nDeterministic mode forfeits Winograd/FFT transforms and atomic split-K\n\
+         accumulation; the penalty grows with filter size and is worst on Pascal."
+    );
+}

@@ -1,0 +1,64 @@
+//! Hardware comparison: how much noise does each accelerator inject?
+//!
+//! Trains the same task with the same algorithmic seed on every simulated
+//! accelerator — CUDA-core GPUs of three generations, a Tensor-Core
+//! configuration, and a TPU — and compares the implementation noise each
+//! one contributes (paper Figure 5), plus the data-ordering effect that
+//! reaches even deterministic hardware (paper Figure 6).
+//!
+//! ```text
+//! cargo run --release -p ns-examples --bin hardware_noise
+//! ```
+
+use ns_examples::{demo_settings, demo_task};
+use noisescope::experiments::ordering;
+use noisescope::prelude::*;
+
+fn main() {
+    let task = demo_task();
+    let settings = demo_settings();
+    let prepared = PreparedTask::prepare(&task);
+
+    println!("IMPL-only noise (fixed algorithmic seed), task '{}':\n", task.name);
+    println!(
+        "{:<12} {:>6} {:>10} {:>10} {:>10}",
+        "device", "lanes", "churn", "l2", "acc"
+    );
+    for device in [
+        Device::p100(),
+        Device::v100(),
+        Device::rtx5000(),
+        Device::rtx5000_tensor_cores(),
+        Device::tpu_v2(),
+    ] {
+        let runs = run_variant(&prepared, &device, NoiseVariant::Impl, &settings);
+        let report = stability_report(&prepared, &device, NoiseVariant::Impl, &runs);
+        println!(
+            "{:<12} {:>6} {:>10.4} {:>10.4} {:>9.1}%",
+            device.name(),
+            device.lanes(),
+            report.churn,
+            report.l2,
+            100.0 * report.mean_accuracy
+        );
+    }
+    println!(
+        "\nThe TPU's fixed-order systolic execution contributes zero implementation\n\
+         noise; Tensor Cores remain noisy because unsupported ops fall back to\n\
+         CUDA cores.\n"
+    );
+
+    println!("...but even the TPU is sensitive to *data order* (Figure 6):");
+    let quick = ExperimentSettings {
+        replicas: settings.replicas,
+        epochs_scale: 0.5,
+        ..settings
+    };
+    let points = ordering::fig6(&quick);
+    println!("{}", ordering::render_fig6(&points));
+    println!(
+        "A different shuffle changes the floating-point accumulation order of the\n\
+         gradient reductions — nonzero divergence even at full batch, where every\n\
+         replica sees mathematically identical gradients."
+    );
+}

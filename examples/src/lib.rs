@@ -1,0 +1,26 @@
+//! Shared helpers for the example binaries.
+
+#![warn(missing_docs)]
+
+use noisescope::prelude::*;
+use nsdata::GaussianSpec;
+
+/// A small task every example can train in a few seconds.
+pub fn demo_task() -> TaskSpec {
+    let mut t = TaskSpec::small_cnn_cifar10();
+    t.data = DataSource::Gaussian(GaussianSpec {
+        train_per_class: 32,
+        test_per_class: 24,
+        ..GaussianSpec::cifar10_sim()
+    });
+    t.train.epochs = 8;
+    t
+}
+
+/// Demo settings: three replicas so examples finish quickly.
+pub fn demo_settings() -> ExperimentSettings {
+    ExperimentSettings {
+        replicas: 3,
+        ..ExperimentSettings::default()
+    }
+}

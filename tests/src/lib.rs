@@ -1,0 +1,46 @@
+//! Shared fixtures for the NoiseScope integration tests.
+//!
+//! Everything here is sized for test speed: tiny datasets, one or two
+//! epochs. The full-scale experiments live in the `repro` binary of
+//! `ns-bench`.
+
+use noisescope::prelude::*;
+use nsdata::GaussianSpec;
+
+/// A task small enough that a replica trains in well under a second.
+pub fn tiny_task() -> TaskSpec {
+    let mut t = TaskSpec::small_cnn_cifar10();
+    t.data = DataSource::Gaussian(GaussianSpec {
+        classes: 4,
+        train_per_class: 16,
+        test_per_class: 10,
+        hw: 8,
+        ..GaussianSpec::cifar10_sim()
+    });
+    t.train.epochs = 3;
+    t.augment = false;
+    t
+}
+
+/// A tiny residual-network task (exercises BN + residual paths).
+pub fn tiny_resnet_task() -> TaskSpec {
+    let mut t = TaskSpec::resnet18_cifar10();
+    t.data = DataSource::Gaussian(GaussianSpec {
+        classes: 4,
+        train_per_class: 12,
+        test_per_class: 8,
+        hw: 8,
+        ..GaussianSpec::cifar10_sim()
+    });
+    t.train.epochs = 2;
+    t.augment = false;
+    t
+}
+
+/// Two-replica settings for fast pairwise comparisons.
+pub fn tiny_settings() -> ExperimentSettings {
+    ExperimentSettings {
+        replicas: 2,
+        ..ExperimentSettings::default()
+    }
+}

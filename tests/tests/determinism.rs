@@ -1,0 +1,97 @@
+//! End-to-end determinism guarantees: the Control variant must be bitwise
+//! reproducible on every device, the TPU must contribute zero
+//! implementation noise, and deterministic execution must be a pure
+//! function of the algorithmic seed.
+
+use ns_integration::{tiny_resnet_task, tiny_settings, tiny_task};
+use noisescope::prelude::*;
+
+#[test]
+fn control_variant_bitwise_identical_on_every_device() {
+    let prepared = PreparedTask::prepare(&tiny_task());
+    let settings = tiny_settings();
+    for device in [
+        Device::p100(),
+        Device::v100(),
+        Device::rtx5000(),
+        Device::rtx5000_tensor_cores(),
+        Device::t4(),
+        Device::tpu_v2(),
+        Device::cpu(),
+    ] {
+        let runs = run_variant(&prepared, &device, NoiseVariant::Control, &settings);
+        assert_eq!(
+            runs.results[0].weights, runs.results[1].weights,
+            "control weights differ on {}",
+            device.name()
+        );
+        assert_eq!(
+            runs.results[0].preds, runs.results[1].preds,
+            "control predictions differ on {}",
+            device.name()
+        );
+    }
+}
+
+#[test]
+fn control_variant_holds_for_batchnorm_residual_models() {
+    let prepared = PreparedTask::prepare(&tiny_resnet_task());
+    let settings = tiny_settings();
+    let runs = run_variant(&prepared, &Device::v100(), NoiseVariant::Control, &settings);
+    assert_eq!(runs.results[0].weights, runs.results[1].weights);
+}
+
+#[test]
+fn tpu_impl_noise_is_exactly_zero() {
+    let prepared = PreparedTask::prepare(&tiny_task());
+    let settings = tiny_settings();
+    let runs = run_variant(&prepared, &Device::tpu_v2(), NoiseVariant::Impl, &settings);
+    let report = stability_report(&prepared, &Device::tpu_v2(), NoiseVariant::Impl, &runs);
+    assert_eq!(report.churn, 0.0, "TPU must not contribute IMPL churn");
+    assert_eq!(report.l2, 0.0, "TPU must not contribute IMPL weight divergence");
+}
+
+#[test]
+fn deterministic_execution_is_entropy_invariant() {
+    // Two fleets with totally different scheduler entropy must coincide
+    // when execution is deterministic.
+    let prepared = PreparedTask::prepare(&tiny_task());
+    let a = ExperimentSettings {
+        entropy_salt: 1,
+        ..tiny_settings()
+    };
+    let b = ExperimentSettings {
+        entropy_salt: 0xFFFF_0000,
+        ..tiny_settings()
+    };
+    let ra = run_replica(&prepared, &Device::v100(), NoiseVariant::Algo, &a, 0);
+    let rb = run_replica(&prepared, &Device::v100(), NoiseVariant::Algo, &b, 0);
+    assert_eq!(ra.weights, rb.weights);
+}
+
+#[test]
+fn deterministic_execution_depends_on_algorithmic_seed() {
+    let prepared = PreparedTask::prepare(&tiny_task());
+    let a = ExperimentSettings {
+        base_seed: 7,
+        ..tiny_settings()
+    };
+    let b = ExperimentSettings {
+        base_seed: 8,
+        ..tiny_settings()
+    };
+    let ra = run_replica(&prepared, &Device::v100(), NoiseVariant::Control, &a, 0);
+    let rb = run_replica(&prepared, &Device::v100(), NoiseVariant::Control, &b, 0);
+    assert_ne!(ra.weights, rb.weights, "different seeds must differ");
+}
+
+#[test]
+fn replaying_a_pinned_nondeterministic_schedule_reproduces_the_run() {
+    // Nondeterministic execution with *pinned* entropy is replayable —
+    // the property that makes fleet results attributable.
+    let prepared = PreparedTask::prepare(&tiny_task());
+    let settings = tiny_settings();
+    let a = run_replica(&prepared, &Device::v100(), NoiseVariant::AlgoImpl, &settings, 1);
+    let b = run_replica(&prepared, &Device::v100(), NoiseVariant::AlgoImpl, &settings, 1);
+    assert_eq!(a.weights, b.weights);
+}

@@ -1,0 +1,153 @@
+//! Finite-difference gradient checks at network scale.
+//!
+//! The per-layer unit tests check each backward pass in isolation; these
+//! tests verify the *composition* — residual wiring, BN-in-block, the loss
+//! gradient — against numerical derivatives of the true training loss.
+
+use detrand::{Philox, StreamId};
+use hwsim::{Device, ExecutionContext, ExecutionMode};
+use nnet::layers::ResidualBlock;
+use nnet::loss::softmax_cross_entropy;
+use nnet::model::Network;
+use nnet::zoo;
+use nnet::Layer;
+use nstensor::{Shape, Tensor};
+
+fn exec() -> ExecutionContext {
+    ExecutionContext::new(Device::cpu(), ExecutionMode::Default, 0)
+}
+
+/// Perturbs the `target`-th scalar parameter of the network by `delta`.
+fn nudge_param(net: &mut Network, target: usize, delta: f32) {
+    let mut seen = 0usize;
+    net.visit_params(&mut |p, _| {
+        if target >= seen && target < seen + p.len() {
+            p.as_mut_slice()[target - seen] += delta;
+        }
+        seen += p.len();
+    });
+}
+
+/// Reads the `target`-th scalar gradient.
+fn read_grad(net: &mut Network, target: usize) -> f32 {
+    let mut seen = 0usize;
+    let mut out = 0f32;
+    net.visit_params(&mut |_, g| {
+        if target >= seen && target < seen + g.len() {
+            out = g.as_slice()[target - seen];
+        }
+        seen += g.len();
+    });
+    out
+}
+
+#[test]
+fn whole_network_parameter_gradients_match_finite_differences() {
+    let root = Philox::from_seed(11);
+    let mut net = zoo::small_cnn(8, 3, 4, false, &root);
+    let mut rng = root.stream(StreamId::TEST);
+    let mut x = Tensor::zeros(Shape::of(&[4, 3, 8, 8]));
+    for v in x.as_mut_slice() {
+        *v = rng.normal();
+    }
+    let labels = [0u32, 1, 2, 3];
+
+    // Analytic gradients.
+    let mut e = exec();
+    let logits = net.forward(x.clone(), &mut e, &root, 0, true);
+    let (_, dlogits) = softmax_cross_entropy(&logits, &labels);
+    net.backward(dlogits, &mut e);
+
+    let n_params = net.param_count();
+    let eps = 2e-2f32;
+    // A spread of parameter coordinates across all layers.
+    for frac in [0.01f64, 0.23, 0.47, 0.71, 0.93] {
+        let target = ((n_params as f64) * frac) as usize;
+        let analytic = read_grad(&mut net, target) as f64;
+        let mut loss_at = |delta: f32, net: &mut Network| -> f64 {
+            nudge_param(net, target, delta);
+            let mut e = exec();
+            let logits = net.forward(x.clone(), &mut e, &root, 0, false);
+            nudge_param(net, target, -delta);
+            softmax_cross_entropy(&logits, &labels).0 as f64
+        };
+        let fd = (loss_at(eps, &mut net) - loss_at(-eps, &mut net)) / (2.0 * eps as f64);
+        assert!(
+            (fd - analytic).abs() < 2e-2 * fd.abs().max(0.5),
+            "param {target}: fd {fd} vs analytic {analytic}"
+        );
+    }
+}
+
+#[test]
+fn residual_block_input_gradient_matches_finite_differences() {
+    let root = Philox::from_seed(13);
+    let mut rng = root.stream(StreamId::INIT.child(0));
+    let mut block = ResidualBlock::new(4, 4, 1, 6, 6, &mut rng);
+    let mut data_rng = root.stream(StreamId::TEST);
+    let mut x = Tensor::zeros(Shape::of(&[3, 4, 6, 6]));
+    for v in x.as_mut_slice() {
+        *v = data_rng.normal();
+    }
+
+    // L = Σ y²; BN recomputes batch stats on every forward, so finite
+    // differences see the same (input-dependent) function.
+    let mut e = exec();
+    let y = block.forward(x.clone(), &mut e, &root, 0, true);
+    let mut dy = y.clone();
+    dy.scale(2.0);
+    let dx = block.backward(dy, &mut e);
+
+    let mut loss = |x: &Tensor| -> f64 {
+        let mut e = exec();
+        let y = block.forward(x.clone(), &mut e, &root, 0, true);
+        // Discard the caches from the probe forward.
+        let _ = block.backward(Tensor::zeros(y.shape()), &mut e);
+        y.as_slice().iter().map(|&v| (v as f64).powi(2)).sum()
+    };
+    let eps = 1e-2f32;
+    for idx in [0usize, 17, 101, 250, 431] {
+        let mut xp = x.clone();
+        xp.as_mut_slice()[idx] += eps;
+        let mut xm = x.clone();
+        xm.as_mut_slice()[idx] -= eps;
+        let fd = (loss(&xp) - loss(&xm)) / (2.0 * eps as f64);
+        let an = dx.as_slice()[idx] as f64;
+        assert!(
+            (fd - an).abs() < 5e-2 * fd.abs().max(1.0),
+            "dx[{idx}]: fd {fd} vs analytic {an}"
+        );
+    }
+}
+
+#[test]
+fn training_decreases_the_true_loss_everywhere_it_claims_to() {
+    // Energy test: a gradient step with a small lr must not increase the
+    // batch loss (descent direction sanity across the whole stack).
+    let root = Philox::from_seed(17);
+    let mut net = zoo::micro_resnet18(8, 3, 4, &root);
+    let mut rng = root.stream(StreamId::TEST);
+    let mut x = Tensor::zeros(Shape::of(&[8, 3, 8, 8]));
+    for v in x.as_mut_slice() {
+        *v = rng.normal();
+    }
+    let labels: Vec<u32> = (0..8).map(|i| (i % 4) as u32).collect();
+
+    let mut e = exec();
+    let mut opt = nnet::optim::Sgd::new(nnet::optim::SgdConfig {
+        momentum: 0.0,
+        weight_decay: 0.0,
+    });
+    let mut losses = Vec::new();
+    for step in 0..6 {
+        let logits = net.forward(x.clone(), &mut e, &root, step, true);
+        let (loss, dlogits) = softmax_cross_entropy(&logits, &labels);
+        losses.push(loss);
+        net.backward(dlogits, &mut e);
+        opt.step(&mut net, 0.01);
+    }
+    assert!(
+        losses.last().unwrap() < losses.first().unwrap(),
+        "loss did not decrease: {losses:?}"
+    );
+}

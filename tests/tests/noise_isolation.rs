@@ -1,0 +1,103 @@
+//! The ALGO/IMPL decomposition: each noise family must be isolatable, and
+//! the isolation must behave like the paper's variant matrix.
+
+use ns_integration::{tiny_settings, tiny_task};
+use noisescope::prelude::*;
+
+#[test]
+fn impl_noise_diverges_weights_on_every_nondeterministic_gpu() {
+    let prepared = PreparedTask::prepare(&tiny_task());
+    let settings = tiny_settings();
+    for device in [
+        Device::p100(),
+        Device::v100(),
+        Device::rtx5000(),
+        Device::t4(),
+    ] {
+        let runs = run_variant(&prepared, &device, NoiseVariant::Impl, &settings);
+        assert_ne!(
+            runs.results[0].weights, runs.results[1].weights,
+            "IMPL replicas identical on {} — accumulation-order noise missing",
+            device.name()
+        );
+    }
+}
+
+#[test]
+fn impl_variant_controls_every_algorithmic_factor() {
+    // Under IMPL, both replicas share initialization: their weights must
+    // start identical, so the *final* L2 distance reflects only
+    // accumulated execution noise and is far smaller than ALGO divergence.
+    let prepared = PreparedTask::prepare(&tiny_task());
+    let settings = tiny_settings();
+    let device = Device::v100();
+    let impl_runs = run_variant(&prepared, &device, NoiseVariant::Impl, &settings);
+    let algo_runs = run_variant(&prepared, &device, NoiseVariant::Algo, &settings);
+    let impl_rep = stability_report(&prepared, &device, NoiseVariant::Impl, &impl_runs);
+    let algo_rep = stability_report(&prepared, &device, NoiseVariant::Algo, &algo_runs);
+    assert!(impl_rep.l2 > 0.0);
+    assert!(
+        algo_rep.l2 > 10.0 * impl_rep.l2,
+        "ALGO (different inits) should dominate IMPL in weight space: {} vs {}",
+        algo_rep.l2,
+        impl_rep.l2
+    );
+}
+
+#[test]
+fn tensor_cores_remain_nondeterministic() {
+    // The paper's Fig. 5 finding: systolic matmuls don't make training
+    // deterministic, because gradient/statistics accumulations fall back
+    // to CUDA cores.
+    let prepared = PreparedTask::prepare(&tiny_task());
+    let settings = tiny_settings();
+    let runs = run_variant(
+        &prepared,
+        &Device::rtx5000_tensor_cores(),
+        NoiseVariant::Impl,
+        &settings,
+    );
+    assert_ne!(runs.results[0].weights, runs.results[1].weights);
+}
+
+#[test]
+fn algo_noise_present_even_on_deterministic_hardware() {
+    let prepared = PreparedTask::prepare(&tiny_task());
+    let settings = tiny_settings();
+    let runs = run_variant(&prepared, &Device::tpu_v2(), NoiseVariant::Algo, &settings);
+    assert_ne!(runs.results[0].weights, runs.results[1].weights);
+}
+
+#[test]
+fn faithful_order_only_noise_also_diverges() {
+    // With amplification off, divergence comes purely from f32 rounding
+    // under permuted accumulation order: slower, but it must be nonzero
+    // after a few epochs (weights differ in at least one ulp).
+    let prepared = PreparedTask::prepare(&tiny_task());
+    let settings = ExperimentSettings {
+        amp_ulps: 0.0,
+        ..tiny_settings()
+    };
+    let runs = run_variant(&prepared, &Device::v100(), NoiseVariant::Impl, &settings);
+    assert_ne!(
+        runs.results[0].weights, runs.results[1].weights,
+        "order-only f32 noise produced bitwise-identical trainings"
+    );
+}
+
+#[test]
+fn stability_reports_are_internally_consistent() {
+    let prepared = PreparedTask::prepare(&tiny_task());
+    let settings = ExperimentSettings {
+        replicas: 3,
+        ..tiny_settings()
+    };
+    let runs = run_variant(&prepared, &Device::v100(), NoiseVariant::AlgoImpl, &settings);
+    let r = stability_report(&prepared, &Device::v100(), NoiseVariant::AlgoImpl, &runs);
+    assert_eq!(r.replicas, 3);
+    assert!((0.0..=1.0).contains(&r.mean_accuracy));
+    assert!(r.std_accuracy >= 0.0);
+    assert!((0.0..=1.0).contains(&r.churn));
+    assert!(r.l2 >= 0.0);
+    assert_eq!(r.per_class_std.len(), prepared.classes());
+}

@@ -1,0 +1,121 @@
+//! Cross-crate property tests on the invariants the reproduction's claims
+//! rest on.
+
+use detrand::Philox;
+use hwsim::{Device, ExecutionContext, ExecutionMode, OpClass};
+use proptest::prelude::*;
+
+fn bounded_f32() -> impl Strategy<Value = f32> {
+    (-1000i32..1000).prop_map(|v| v as f32 * 1e-3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Deterministic execution contexts are pure functions of the data:
+    /// entropy never leaks into any op class.
+    #[test]
+    fn deterministic_context_entropy_invariant(
+        xs in prop::collection::vec(bounded_f32(), 1..512),
+        e1 in any::<u64>(),
+        e2 in any::<u64>(),
+    ) {
+        let mut a = ExecutionContext::new(Device::p100(), ExecutionMode::Deterministic, e1);
+        let mut b = ExecutionContext::new(Device::p100(), ExecutionMode::Deterministic, e2);
+        for class in OpClass::ALL {
+            prop_assert_eq!(
+                a.reducer(class).sum(&xs).to_bits(),
+                b.reducer(class).sum(&xs).to_bits()
+            );
+        }
+    }
+
+    /// The TPU is deterministic in *default* mode (its design, not a flag).
+    #[test]
+    fn tpu_default_mode_entropy_invariant(
+        xs in prop::collection::vec(bounded_f32(), 1..512),
+        e1 in any::<u64>(),
+        e2 in any::<u64>(),
+    ) {
+        let mut a = ExecutionContext::new(Device::tpu_v2(), ExecutionMode::Default, e1);
+        let mut b = ExecutionContext::new(Device::tpu_v2(), ExecutionMode::Default, e2);
+        for class in OpClass::ALL {
+            prop_assert_eq!(
+                a.reducer(class).sum(&xs).to_bits(),
+                b.reducer(class).sum(&xs).to_bits()
+            );
+        }
+    }
+
+    /// Nondeterministic execution stays within the f32 error envelope of
+    /// the exact sum — noise is rounding-scale, never magnitude-scale.
+    #[test]
+    fn gpu_noise_is_rounding_scale(
+        xs in prop::collection::vec(bounded_f32(), 1..512),
+        entropy in any::<u64>(),
+    ) {
+        let exact: f64 = xs.iter().map(|&x| x as f64).sum();
+        let abs: f64 = xs.iter().map(|&x| (x as f64).abs()).sum();
+        let bound = (xs.len() as f64) * (f32::EPSILON as f64) * abs + 1e-9;
+        let mut ctx = ExecutionContext::new(Device::v100(), ExecutionMode::Default, entropy);
+        for _ in 0..8 {
+            let s = ctx.reducer(OpClass::WeightGrad).sum(&xs) as f64;
+            prop_assert!((s - exact).abs() <= bound, "err {}", (s - exact).abs());
+        }
+    }
+
+    /// Model construction is a pure function of the algorithmic seed.
+    #[test]
+    fn model_weights_pure_in_seed(seed in any::<u64>()) {
+        let a = nnet::zoo::small_cnn(8, 3, 4, true, &Philox::from_seed(seed));
+        let b = nnet::zoo::small_cnn(8, 3, 4, true, &Philox::from_seed(seed));
+        let mut a = a;
+        let mut b = b;
+        prop_assert_eq!(a.flat_weights(), b.flat_weights());
+    }
+
+    /// Churn is a metric: symmetric, bounded, zero on the diagonal.
+    #[test]
+    fn churn_metric_properties(
+        a in prop::collection::vec(0u32..5, 1..128),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Philox::from_seed(seed).rng_at(0);
+        let b: Vec<u32> = a.iter().map(|&v| if rng.next_f32() < 0.3 { (v + 1) % 5 } else { v }).collect();
+        let ab = nsmetrics::churn(&a, &b);
+        prop_assert_eq!(ab, nsmetrics::churn(&b, &a));
+        prop_assert!((0.0..=1.0).contains(&ab));
+        prop_assert_eq!(nsmetrics::churn(&a, &a), 0.0);
+    }
+
+    /// Normalized L2 is scale-invariant and bounded by 2.
+    #[test]
+    fn l2_metric_properties(
+        w in prop::collection::vec(bounded_f32(), 2..128),
+        scale in 1u32..1000,
+    ) {
+        prop_assume!(w.iter().any(|&x| x != 0.0));
+        let scaled: Vec<f32> = w.iter().map(|&x| x * scale as f32).collect();
+        prop_assert!(nsmetrics::l2_normalized(&w, &scaled) < 1e-5);
+        let neg: Vec<f32> = w.iter().map(|&x| -x).collect();
+        let d = nsmetrics::l2_normalized(&w, &neg);
+        prop_assert!((d - 2.0).abs() < 1e-5);
+    }
+
+    /// Dataset generation is pure in the spec.
+    #[test]
+    fn dataset_pure_in_seed(seed in any::<u64>()) {
+        let spec = nsdata::GaussianSpec {
+            classes: 3,
+            train_per_class: 4,
+            test_per_class: 2,
+            hw: 6,
+            seed,
+            ..nsdata::GaussianSpec::cifar10_sim()
+        };
+        let a = spec.generate();
+        let b = spec.generate();
+        prop_assert_eq!(a.train.x.as_slice(), b.train.x.as_slice());
+        prop_assert_eq!(a.test.x.as_slice(), b.test.x.as_slice());
+    }
+}
