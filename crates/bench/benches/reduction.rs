@@ -5,7 +5,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use nstensor::{ReduceOrder, Reducer};
 
 fn bench_reductions(c: &mut Criterion) {
-    let xs: Vec<f32> = (0..8192).map(|i| ((i * 37 % 101) as f32 - 50.0) * 0.01).collect();
+    let xs: Vec<f32> = (0..8192)
+        .map(|i| ((i * 37 % 101) as f32 - 50.0) * 0.01)
+        .collect();
     let mut group = c.benchmark_group("reduction_sum_8k");
     group.throughput(Throughput::Elements(xs.len() as u64));
     for (name, order) in [

@@ -49,8 +49,8 @@ fn main() {
     }
     if exps.is_empty() || exps.contains("all") {
         for id in [
-            "table2", "table3", "table5", "fig1", "fig2", "fig4", "fig5", "fig6", "fig7",
-            "fig8a", "fig8b", "fig9", "fig10", "ext",
+            "table2", "table3", "table5", "fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8a",
+            "fig8b", "fig9", "fig10", "ext",
         ] {
             exps.insert(id.to_string());
         }
@@ -151,7 +151,10 @@ fn main() {
         let tables = fairness::fig3_table5(&settings);
         println!("{}", fairness::render_table5(&tables));
         save("table5", &serde_json::to_value(&tables).unwrap());
-        eprintln!("table5/fig3 done in {:.1}s", started.elapsed().as_secs_f32());
+        eprintln!(
+            "table5/fig3 done in {:.1}s",
+            started.elapsed().as_secs_f32()
+        );
     }
     if exps.contains("fig5") {
         let started = Instant::now();
@@ -247,7 +250,13 @@ fn main() {
                 "{}",
                 noisescope::report::render_table(
                     "Figure 4: per-class vs overall accuracy variance (V100)",
-                    &["Task", "Variant", "stddev(acc)", "max class stddev", "ratio"],
+                    &[
+                        "Task",
+                        "Variant",
+                        "stddev(acc)",
+                        "max class stddev",
+                        "ratio"
+                    ],
                     &rows
                 )
             );

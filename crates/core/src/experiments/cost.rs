@@ -105,7 +105,13 @@ pub fn render_overheads(title: &str, points: &[OverheadPoint]) -> String {
         .collect();
     render_table(
         title,
-        &["Workload", "GPU", "Relative time", "Default", "Deterministic"],
+        &[
+            "Workload",
+            "GPU",
+            "Relative time",
+            "Default",
+            "Deterministic",
+        ],
         &rows,
     )
 }
@@ -174,14 +180,11 @@ mod tests {
     #[test]
     fn fig7_deterministic_profile_is_slower_and_narrower() {
         let fig = fig7(10);
-        assert!(
-            fig.deterministic_profile.total_time_s() > fig.default_profile.total_time_s()
-        );
+        assert!(fig.deterministic_profile.total_time_s() > fig.default_profile.total_time_s());
         // Deterministic mode schedules a narrower kernel set and never a
         // nondeterministic algorithm.
         assert!(
-            fig.deterministic_profile.distinct_kernels()
-                < fig.default_profile.distinct_kernels()
+            fig.deterministic_profile.distinct_kernels() < fig.default_profile.distinct_kernels()
         );
         assert!(fig
             .deterministic_profile

@@ -350,16 +350,31 @@ mod tests {
         };
         let single = {
             let prepared = PreparedTask::prepare(&task);
-            crate::runner::run_replica(&prepared, &Device::tpu_v2(), NoiseVariant::Control, &settings, 0)
+            crate::runner::run_replica(
+                &prepared,
+                &Device::tpu_v2(),
+                NoiseVariant::Control,
+                &settings,
+                0,
+            )
         };
         task.train.data_parallel_workers = 4;
         let sharded = {
             let prepared = PreparedTask::prepare(&task);
-            crate::runner::run_replica(&prepared, &Device::tpu_v2(), NoiseVariant::Control, &settings, 0)
+            crate::runner::run_replica(
+                &prepared,
+                &Device::tpu_v2(),
+                NoiseVariant::Control,
+                &settings,
+                0,
+            )
         };
         // Not bitwise equal (different reduction structure), but the
         // learned functions must be close.
         let l2 = nsmetrics::l2_normalized(&single.weights, &sharded.weights);
-        assert!(l2 < 0.5, "sharded training diverged from single-device: {l2}");
+        assert!(
+            l2 < 0.5,
+            "sharded training diverged from single-device: {l2}"
+        );
     }
 }

@@ -8,8 +8,8 @@ use crate::task::TaskSpec;
 use crate::variant::NoiseVariant;
 use hwsim::Device;
 use nnet::trainer::Targets;
-use nsmetrics::{binary_rates, relative_scale, stddev};
 use nsdata::{CelebaMeta, SubgroupCounts};
+use nsmetrics::{binary_rates, relative_scale, stddev};
 use serde::{Deserialize, Serialize};
 
 /// The protected subgroups of the paper's Figure 3 / Table 5.

@@ -66,8 +66,7 @@ pub fn fig6(settings: &ExperimentSettings) -> Vec<OrderingPoint> {
             cfg.epochs = settings.scale_epochs(epochs);
             cfg.batch_size = bs;
             // The single varying factor: the shuffle stream's seed.
-            cfg.shuffle_seed_override =
-                Some(settings.base_seed ^ (0xF16_6000 + replica as u64));
+            cfg.shuffle_seed_override = Some(settings.base_seed ^ (0xF16_6000 + replica as u64));
             let mut exec = ExecutionContext::new(device, ExecutionMode::Default, 0);
             let mut net = task.build_model(&algo);
             Trainer::new(cfg).fit(&mut net, prepared.train_set(), &mut exec, &algo, None);

@@ -23,7 +23,12 @@ impl StabilityGrid {
     }
 
     /// The report for one exact cell.
-    pub fn cell(&self, task: &str, device: &str, variant: NoiseVariant) -> Option<&StabilityReport> {
+    pub fn cell(
+        &self,
+        task: &str,
+        device: &str,
+        variant: NoiseVariant,
+    ) -> Option<&StabilityReport> {
         self.reports
             .iter()
             .find(|r| r.task == task && r.device == device && r.variant == variant)
@@ -82,7 +87,11 @@ pub fn render_table2(grid: &StabilityGrid) -> String {
             r.device.clone(),
             r.task.clone(),
             r.variant.label().to_string(),
-            format!("{:.2}% ± {:.2}", 100.0 * r.mean_accuracy, 100.0 * r.std_accuracy),
+            format!(
+                "{:.2}% ± {:.2}",
+                100.0 * r.mean_accuracy,
+                100.0 * r.std_accuracy
+            ),
         ]);
     }
     render_table(
@@ -177,6 +186,8 @@ pub fn fig5(settings: &ExperimentSettings) -> StabilityGrid {
 }
 
 #[cfg(test)]
+// Tests assert exact float values: bit-identical replay is the property under test.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::task::DataSource;

@@ -27,38 +27,218 @@ pub struct Table2Ref {
 /// The paper's Table 2 (all 30 cells).
 pub const TABLE2: [Table2Ref; 30] = [
     // P100
-    Table2Ref { hardware: "P100", task: "SmallCNN CIFAR-10", variant: "ALGO+IMPL", mean_pct: 62.28, std_pct: 0.83 },
-    Table2Ref { hardware: "P100", task: "SmallCNN CIFAR-10", variant: "ALGO", mean_pct: 61.44, std_pct: 0.41 },
-    Table2Ref { hardware: "P100", task: "SmallCNN CIFAR-10", variant: "IMPL", mean_pct: 61.61, std_pct: 0.31 },
-    Table2Ref { hardware: "P100", task: "ResNet18 CIFAR-10", variant: "ALGO+IMPL", mean_pct: 93.33, std_pct: 0.14 },
-    Table2Ref { hardware: "P100", task: "ResNet18 CIFAR-10", variant: "ALGO", mean_pct: 93.32, std_pct: 0.13 },
-    Table2Ref { hardware: "P100", task: "ResNet18 CIFAR-10", variant: "IMPL", mean_pct: 93.12, std_pct: 0.11 },
-    Table2Ref { hardware: "P100", task: "ResNet18 CIFAR-100", variant: "ALGO+IMPL", mean_pct: 73.37, std_pct: 0.23 },
-    Table2Ref { hardware: "P100", task: "ResNet18 CIFAR-100", variant: "ALGO", mean_pct: 73.42, std_pct: 0.26 },
-    Table2Ref { hardware: "P100", task: "ResNet18 CIFAR-100", variant: "IMPL", mean_pct: 73.36, std_pct: 0.17 },
+    Table2Ref {
+        hardware: "P100",
+        task: "SmallCNN CIFAR-10",
+        variant: "ALGO+IMPL",
+        mean_pct: 62.28,
+        std_pct: 0.83,
+    },
+    Table2Ref {
+        hardware: "P100",
+        task: "SmallCNN CIFAR-10",
+        variant: "ALGO",
+        mean_pct: 61.44,
+        std_pct: 0.41,
+    },
+    Table2Ref {
+        hardware: "P100",
+        task: "SmallCNN CIFAR-10",
+        variant: "IMPL",
+        mean_pct: 61.61,
+        std_pct: 0.31,
+    },
+    Table2Ref {
+        hardware: "P100",
+        task: "ResNet18 CIFAR-10",
+        variant: "ALGO+IMPL",
+        mean_pct: 93.33,
+        std_pct: 0.14,
+    },
+    Table2Ref {
+        hardware: "P100",
+        task: "ResNet18 CIFAR-10",
+        variant: "ALGO",
+        mean_pct: 93.32,
+        std_pct: 0.13,
+    },
+    Table2Ref {
+        hardware: "P100",
+        task: "ResNet18 CIFAR-10",
+        variant: "IMPL",
+        mean_pct: 93.12,
+        std_pct: 0.11,
+    },
+    Table2Ref {
+        hardware: "P100",
+        task: "ResNet18 CIFAR-100",
+        variant: "ALGO+IMPL",
+        mean_pct: 73.37,
+        std_pct: 0.23,
+    },
+    Table2Ref {
+        hardware: "P100",
+        task: "ResNet18 CIFAR-100",
+        variant: "ALGO",
+        mean_pct: 73.42,
+        std_pct: 0.26,
+    },
+    Table2Ref {
+        hardware: "P100",
+        task: "ResNet18 CIFAR-100",
+        variant: "IMPL",
+        mean_pct: 73.36,
+        std_pct: 0.17,
+    },
     // RTX5000
-    Table2Ref { hardware: "RTX5000", task: "SmallCNN CIFAR-10", variant: "ALGO+IMPL", mean_pct: 62.24, std_pct: 0.64 },
-    Table2Ref { hardware: "RTX5000", task: "SmallCNN CIFAR-10", variant: "ALGO", mean_pct: 62.13, std_pct: 0.85 },
-    Table2Ref { hardware: "RTX5000", task: "SmallCNN CIFAR-10", variant: "IMPL", mean_pct: 62.36, std_pct: 0.16 },
-    Table2Ref { hardware: "RTX5000", task: "ResNet18 CIFAR-10", variant: "ALGO+IMPL", mean_pct: 93.34, std_pct: 0.11 },
-    Table2Ref { hardware: "RTX5000", task: "ResNet18 CIFAR-10", variant: "ALGO", mean_pct: 93.44, std_pct: 0.19 },
-    Table2Ref { hardware: "RTX5000", task: "ResNet18 CIFAR-10", variant: "IMPL", mean_pct: 93.13, std_pct: 0.09 },
-    Table2Ref { hardware: "RTX5000", task: "ResNet18 CIFAR-100", variant: "ALGO+IMPL", mean_pct: 73.30, std_pct: 0.16 },
-    Table2Ref { hardware: "RTX5000", task: "ResNet18 CIFAR-100", variant: "ALGO", mean_pct: 73.52, std_pct: 0.15 },
-    Table2Ref { hardware: "RTX5000", task: "ResNet18 CIFAR-100", variant: "IMPL", mean_pct: 73.34, std_pct: 0.24 },
+    Table2Ref {
+        hardware: "RTX5000",
+        task: "SmallCNN CIFAR-10",
+        variant: "ALGO+IMPL",
+        mean_pct: 62.24,
+        std_pct: 0.64,
+    },
+    Table2Ref {
+        hardware: "RTX5000",
+        task: "SmallCNN CIFAR-10",
+        variant: "ALGO",
+        mean_pct: 62.13,
+        std_pct: 0.85,
+    },
+    Table2Ref {
+        hardware: "RTX5000",
+        task: "SmallCNN CIFAR-10",
+        variant: "IMPL",
+        mean_pct: 62.36,
+        std_pct: 0.16,
+    },
+    Table2Ref {
+        hardware: "RTX5000",
+        task: "ResNet18 CIFAR-10",
+        variant: "ALGO+IMPL",
+        mean_pct: 93.34,
+        std_pct: 0.11,
+    },
+    Table2Ref {
+        hardware: "RTX5000",
+        task: "ResNet18 CIFAR-10",
+        variant: "ALGO",
+        mean_pct: 93.44,
+        std_pct: 0.19,
+    },
+    Table2Ref {
+        hardware: "RTX5000",
+        task: "ResNet18 CIFAR-10",
+        variant: "IMPL",
+        mean_pct: 93.13,
+        std_pct: 0.09,
+    },
+    Table2Ref {
+        hardware: "RTX5000",
+        task: "ResNet18 CIFAR-100",
+        variant: "ALGO+IMPL",
+        mean_pct: 73.30,
+        std_pct: 0.16,
+    },
+    Table2Ref {
+        hardware: "RTX5000",
+        task: "ResNet18 CIFAR-100",
+        variant: "ALGO",
+        mean_pct: 73.52,
+        std_pct: 0.15,
+    },
+    Table2Ref {
+        hardware: "RTX5000",
+        task: "ResNet18 CIFAR-100",
+        variant: "IMPL",
+        mean_pct: 73.34,
+        std_pct: 0.24,
+    },
     // V100
-    Table2Ref { hardware: "V100", task: "SmallCNN CIFAR-10", variant: "ALGO+IMPL", mean_pct: 62.03, std_pct: 0.91 },
-    Table2Ref { hardware: "V100", task: "SmallCNN CIFAR-10", variant: "ALGO", mean_pct: 62.35, std_pct: 0.61 },
-    Table2Ref { hardware: "V100", task: "SmallCNN CIFAR-10", variant: "IMPL", mean_pct: 61.69, std_pct: 0.31 },
-    Table2Ref { hardware: "V100", task: "ResNet18 CIFAR-10", variant: "ALGO+IMPL", mean_pct: 93.32, std_pct: 0.17 },
-    Table2Ref { hardware: "V100", task: "ResNet18 CIFAR-10", variant: "ALGO", mean_pct: 93.44, std_pct: 0.05 },
-    Table2Ref { hardware: "V100", task: "ResNet18 CIFAR-10", variant: "IMPL", mean_pct: 93.41, std_pct: 0.13 },
-    Table2Ref { hardware: "V100", task: "ResNet18 CIFAR-100", variant: "ALGO+IMPL", mean_pct: 73.42, std_pct: 0.25 },
-    Table2Ref { hardware: "V100", task: "ResNet18 CIFAR-100", variant: "ALGO", mean_pct: 73.35, std_pct: 0.14 },
-    Table2Ref { hardware: "V100", task: "ResNet18 CIFAR-100", variant: "IMPL", mean_pct: 73.41, std_pct: 0.28 },
-    Table2Ref { hardware: "V100", task: "ResNet50 ImageNet", variant: "ALGO+IMPL", mean_pct: 76.58, std_pct: 0.10 },
-    Table2Ref { hardware: "V100", task: "ResNet50 ImageNet", variant: "ALGO", mean_pct: 76.61, std_pct: 0.10 },
-    Table2Ref { hardware: "V100", task: "ResNet50 ImageNet", variant: "IMPL", mean_pct: 76.60, std_pct: 0.05 },
+    Table2Ref {
+        hardware: "V100",
+        task: "SmallCNN CIFAR-10",
+        variant: "ALGO+IMPL",
+        mean_pct: 62.03,
+        std_pct: 0.91,
+    },
+    Table2Ref {
+        hardware: "V100",
+        task: "SmallCNN CIFAR-10",
+        variant: "ALGO",
+        mean_pct: 62.35,
+        std_pct: 0.61,
+    },
+    Table2Ref {
+        hardware: "V100",
+        task: "SmallCNN CIFAR-10",
+        variant: "IMPL",
+        mean_pct: 61.69,
+        std_pct: 0.31,
+    },
+    Table2Ref {
+        hardware: "V100",
+        task: "ResNet18 CIFAR-10",
+        variant: "ALGO+IMPL",
+        mean_pct: 93.32,
+        std_pct: 0.17,
+    },
+    Table2Ref {
+        hardware: "V100",
+        task: "ResNet18 CIFAR-10",
+        variant: "ALGO",
+        mean_pct: 93.44,
+        std_pct: 0.05,
+    },
+    Table2Ref {
+        hardware: "V100",
+        task: "ResNet18 CIFAR-10",
+        variant: "IMPL",
+        mean_pct: 93.41,
+        std_pct: 0.13,
+    },
+    Table2Ref {
+        hardware: "V100",
+        task: "ResNet18 CIFAR-100",
+        variant: "ALGO+IMPL",
+        mean_pct: 73.42,
+        std_pct: 0.25,
+    },
+    Table2Ref {
+        hardware: "V100",
+        task: "ResNet18 CIFAR-100",
+        variant: "ALGO",
+        mean_pct: 73.35,
+        std_pct: 0.14,
+    },
+    Table2Ref {
+        hardware: "V100",
+        task: "ResNet18 CIFAR-100",
+        variant: "IMPL",
+        mean_pct: 73.41,
+        std_pct: 0.28,
+    },
+    Table2Ref {
+        hardware: "V100",
+        task: "ResNet50 ImageNet",
+        variant: "ALGO+IMPL",
+        mean_pct: 76.58,
+        std_pct: 0.10,
+    },
+    Table2Ref {
+        hardware: "V100",
+        task: "ResNet50 ImageNet",
+        variant: "ALGO",
+        mean_pct: 76.61,
+        std_pct: 0.10,
+    },
+    Table2Ref {
+        hardware: "V100",
+        task: "ResNet50 ImageNet",
+        variant: "IMPL",
+        mean_pct: 76.60,
+        std_pct: 0.05,
+    },
 ];
 
 /// One Table-5 reference row: subgroup stddev scale relative to "All".
@@ -78,21 +258,111 @@ pub struct Table5Ref {
 
 /// The paper's Table 5 relative scales (per variant, per subgroup).
 pub const TABLE5: [Table5Ref; 15] = [
-    Table5Ref { variant: "ALGO+IMPL", group: "All", rel_accuracy: 1.00, rel_fpr: 1.00, rel_fnr: 1.00 },
-    Table5Ref { variant: "ALGO+IMPL", group: "Male", rel_accuracy: 1.07, rel_fpr: 0.50, rel_fnr: 4.60 },
-    Table5Ref { variant: "ALGO+IMPL", group: "Female", rel_accuracy: 1.36, rel_fpr: 1.71, rel_fnr: 0.98 },
-    Table5Ref { variant: "ALGO+IMPL", group: "Young", rel_accuracy: 1.10, rel_fpr: 1.00, rel_fnr: 1.08 },
-    Table5Ref { variant: "ALGO+IMPL", group: "Old", rel_accuracy: 3.31, rel_fpr: 1.57, rel_fnr: 1.51 },
-    Table5Ref { variant: "ALGO", group: "All", rel_accuracy: 1.00, rel_fpr: 1.00, rel_fnr: 1.00 },
-    Table5Ref { variant: "ALGO", group: "Male", rel_accuracy: 0.94, rel_fpr: 1.01, rel_fnr: 4.66 },
-    Table5Ref { variant: "ALGO", group: "Female", rel_accuracy: 1.62, rel_fpr: 1.81, rel_fnr: 0.89 },
-    Table5Ref { variant: "ALGO", group: "Young", rel_accuracy: 0.93, rel_fpr: 0.99, rel_fnr: 1.10 },
-    Table5Ref { variant: "ALGO", group: "Old", rel_accuracy: 1.83, rel_fpr: 1.81, rel_fnr: 0.86 },
-    Table5Ref { variant: "IMPL", group: "All", rel_accuracy: 1.00, rel_fpr: 1.00, rel_fnr: 1.00 },
-    Table5Ref { variant: "IMPL", group: "Male", rel_accuracy: 0.64, rel_fpr: 0.61, rel_fnr: 3.61 },
-    Table5Ref { variant: "IMPL", group: "Female", rel_accuracy: 1.39, rel_fpr: 1.48, rel_fnr: 0.89 },
-    Table5Ref { variant: "IMPL", group: "Young", rel_accuracy: 1.00, rel_fpr: 0.93, rel_fnr: 1.27 },
-    Table5Ref { variant: "IMPL", group: "Old", rel_accuracy: 2.36, rel_fpr: 2.21, rel_fnr: 2.10 },
+    Table5Ref {
+        variant: "ALGO+IMPL",
+        group: "All",
+        rel_accuracy: 1.00,
+        rel_fpr: 1.00,
+        rel_fnr: 1.00,
+    },
+    Table5Ref {
+        variant: "ALGO+IMPL",
+        group: "Male",
+        rel_accuracy: 1.07,
+        rel_fpr: 0.50,
+        rel_fnr: 4.60,
+    },
+    Table5Ref {
+        variant: "ALGO+IMPL",
+        group: "Female",
+        rel_accuracy: 1.36,
+        rel_fpr: 1.71,
+        rel_fnr: 0.98,
+    },
+    Table5Ref {
+        variant: "ALGO+IMPL",
+        group: "Young",
+        rel_accuracy: 1.10,
+        rel_fpr: 1.00,
+        rel_fnr: 1.08,
+    },
+    Table5Ref {
+        variant: "ALGO+IMPL",
+        group: "Old",
+        rel_accuracy: 3.31,
+        rel_fpr: 1.57,
+        rel_fnr: 1.51,
+    },
+    Table5Ref {
+        variant: "ALGO",
+        group: "All",
+        rel_accuracy: 1.00,
+        rel_fpr: 1.00,
+        rel_fnr: 1.00,
+    },
+    Table5Ref {
+        variant: "ALGO",
+        group: "Male",
+        rel_accuracy: 0.94,
+        rel_fpr: 1.01,
+        rel_fnr: 4.66,
+    },
+    Table5Ref {
+        variant: "ALGO",
+        group: "Female",
+        rel_accuracy: 1.62,
+        rel_fpr: 1.81,
+        rel_fnr: 0.89,
+    },
+    Table5Ref {
+        variant: "ALGO",
+        group: "Young",
+        rel_accuracy: 0.93,
+        rel_fpr: 0.99,
+        rel_fnr: 1.10,
+    },
+    Table5Ref {
+        variant: "ALGO",
+        group: "Old",
+        rel_accuracy: 1.83,
+        rel_fpr: 1.81,
+        rel_fnr: 0.86,
+    },
+    Table5Ref {
+        variant: "IMPL",
+        group: "All",
+        rel_accuracy: 1.00,
+        rel_fpr: 1.00,
+        rel_fnr: 1.00,
+    },
+    Table5Ref {
+        variant: "IMPL",
+        group: "Male",
+        rel_accuracy: 0.64,
+        rel_fpr: 0.61,
+        rel_fnr: 3.61,
+    },
+    Table5Ref {
+        variant: "IMPL",
+        group: "Female",
+        rel_accuracy: 1.39,
+        rel_fpr: 1.48,
+        rel_fnr: 0.89,
+    },
+    Table5Ref {
+        variant: "IMPL",
+        group: "Young",
+        rel_accuracy: 1.00,
+        rel_fpr: 0.93,
+        rel_fnr: 1.27,
+    },
+    Table5Ref {
+        variant: "IMPL",
+        group: "Old",
+        rel_accuracy: 2.36,
+        rel_fpr: 2.21,
+        rel_fnr: 2.10,
+    },
 ];
 
 /// The Figure-8 overhead extremes quoted in the paper's text
@@ -109,9 +379,21 @@ pub struct OverheadRef {
 
 /// Paper §4: "284%~746% on P100, 129%~241% on V100, and 117%~196% on T4".
 pub const FIG8B: [OverheadRef; 3] = [
-    OverheadRef { device: "P100", sweep_min_pct: 284.0, sweep_max_pct: 746.0 },
-    OverheadRef { device: "V100", sweep_min_pct: 129.0, sweep_max_pct: 241.0 },
-    OverheadRef { device: "T4", sweep_min_pct: 117.0, sweep_max_pct: 196.0 },
+    OverheadRef {
+        device: "P100",
+        sweep_min_pct: 284.0,
+        sweep_max_pct: 746.0,
+    },
+    OverheadRef {
+        device: "V100",
+        sweep_min_pct: 129.0,
+        sweep_max_pct: 241.0,
+    },
+    OverheadRef {
+        device: "T4",
+        sweep_min_pct: 117.0,
+        sweep_max_pct: 196.0,
+    },
 ];
 
 /// Other headline quantities from the paper's text.
@@ -171,9 +453,7 @@ pub mod compare {
             .iter()
             .filter_map(|r| {
                 let cell = grid.reports.iter().find(|m| {
-                    m.task == r.task
-                        && m.device == r.hardware
-                        && m.variant.label() == r.variant
+                    m.task == r.task && m.device == r.hardware && m.variant.label() == r.variant
                 })?;
                 Some(Comparison {
                     quantity: format!("{} / {} / {} mean acc %", r.hardware, r.task, r.variant),
@@ -226,11 +506,17 @@ pub mod compare {
                 ]
             })
             .collect();
-        render_table(title, &["Quantity", "Paper", "Measured", "Ratio"], &table_rows)
+        render_table(
+            title,
+            &["Quantity", "Paper", "Measured", "Ratio"],
+            &table_rows,
+        )
     }
 }
 
 #[cfg(test)]
+// Tests assert exact float values: bit-identical replay is the property under test.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

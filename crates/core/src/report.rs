@@ -1,12 +1,10 @@
 //! Stability reports and text-table rendering.
 
-use crate::runner::{PreparedTask, Preds, VariantRuns};
+use crate::runner::{Preds, PreparedTask, VariantRuns};
 use crate::variant::NoiseVariant;
 use hwsim::Device;
 use nnet::trainer::Targets;
-use nsmetrics::{
-    mean, pairwise_mean_churn, pairwise_mean_l2, per_class_accuracy, stddev,
-};
+use nsmetrics::{mean, pairwise_mean_churn, pairwise_mean_l2, per_class_accuracy, stddev};
 use serde::{Deserialize, Serialize};
 
 /// The stability measures of one (task, device, variant) cell — one bar
@@ -75,7 +73,10 @@ pub fn stability_report(
             let classes = prepared.classes();
             let mut per_class: Vec<Vec<f64>> = vec![Vec::new(); classes];
             for p in &preds {
-                for (c, acc) in per_class_accuracy(p, &labels, classes).into_iter().enumerate() {
+                for (c, acc) in per_class_accuracy(p, &labels, classes)
+                    .into_iter()
+                    .enumerate()
+                {
                     if let Some(a) = acc {
                         per_class[c].push(a);
                     }
@@ -189,10 +190,7 @@ mod tests {
     fn report_aggregates_fleet() {
         let prepared = tiny_prepared();
         // Test labels for 2 classes × 2/class: [0, 0, 1, 1].
-        let runs = fake_runs(
-            vec![vec![0, 0, 1, 1], vec![0, 1, 1, 1]],
-            vec![1.0, 0.75],
-        );
+        let runs = fake_runs(vec![vec![0, 0, 1, 1], vec![0, 1, 1, 1]], vec![1.0, 0.75]);
         let rep = stability_report(&prepared, &Device::v100(), NoiseVariant::AlgoImpl, &runs);
         assert_eq!(rep.replicas, 2);
         assert!((rep.mean_accuracy - 0.875).abs() < 1e-12);
@@ -216,8 +214,7 @@ mod tests {
         );
         assert!(t.contains("Demo"));
         assert!(t.contains("long"));
-        let lines: Vec<&str> = t.lines().collect();
-        assert_eq!(lines.len(), 5);
+        assert_eq!(t.lines().count(), 5);
     }
 
     #[test]

@@ -235,7 +235,10 @@ pub fn run_variant(
     }
     VariantRuns {
         variant,
-        results: results.into_iter().map(|r| r.expect("replica missing")).collect(),
+        results: results
+            .into_iter()
+            .map(|r| r.expect("replica missing"))
+            .collect(),
     }
 }
 

@@ -265,9 +265,7 @@ impl TaskSpec {
             ModelKind::SmallCnnDropout { rate } => zoo::small_cnn_dropout(hw, c, out, rate, root),
             ModelKind::MicroResNet18 => zoo::micro_resnet18(hw, c, out, root),
             ModelKind::MicroResNet50 => zoo::micro_resnet50(hw, c, out, root),
-            ModelKind::MicroResNetBottleneck => {
-                zoo::micro_resnet_bottleneck(hw, c, out, root)
-            }
+            ModelKind::MicroResNetBottleneck => zoo::micro_resnet_bottleneck(hw, c, out, root),
             ModelKind::LeNet5 => zoo::lenet5(hw, c, out, root),
             ModelKind::MediumCnn { k } => zoo::medium_cnn_trainable(hw, c, out, k, root),
         }
@@ -319,10 +317,17 @@ mod tests {
 
     #[test]
     fn table2_tasks_have_paper_names() {
-        let names: Vec<String> = TaskSpec::table2_tasks().iter().map(|t| t.name.clone()).collect();
+        let names: Vec<String> = TaskSpec::table2_tasks()
+            .iter()
+            .map(|t| t.name.clone())
+            .collect();
         assert_eq!(
             names,
-            vec!["SmallCNN CIFAR-10", "ResNet18 CIFAR-10", "ResNet18 CIFAR-100"]
+            vec![
+                "SmallCNN CIFAR-10",
+                "ResNet18 CIFAR-10",
+                "ResNet18 CIFAR-100"
+            ]
         );
     }
 }

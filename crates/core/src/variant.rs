@@ -30,8 +30,11 @@ pub enum NoiseVariant {
 impl NoiseVariant {
     /// The three measured arms of every figure (Control is a check, not a
     /// measurement — its variance is zero by construction).
-    pub const MEASURED: [NoiseVariant; 3] =
-        [NoiseVariant::AlgoImpl, NoiseVariant::Algo, NoiseVariant::Impl];
+    pub const MEASURED: [NoiseVariant; 3] = [
+        NoiseVariant::AlgoImpl,
+        NoiseVariant::Algo,
+        NoiseVariant::Impl,
+    ];
 
     /// All four arms.
     pub const ALL: [NoiseVariant; 4] = [
@@ -87,7 +90,10 @@ mod tests {
         assert_eq!(NoiseVariant::Impl.seed_policy(), SeedPolicy::Fixed);
         assert_eq!(NoiseVariant::Impl.exec_mode(), ExecutionMode::Default);
         assert_eq!(NoiseVariant::Control.seed_policy(), SeedPolicy::Fixed);
-        assert_eq!(NoiseVariant::Control.exec_mode(), ExecutionMode::Deterministic);
+        assert_eq!(
+            NoiseVariant::Control.exec_mode(),
+            ExecutionMode::Deterministic
+        );
     }
 
     #[test]

@@ -244,7 +244,10 @@ mod tests {
         assert!(c.old_pos < c.young_pos);
         // Young fraction ≈ 77.9 %.
         let young_frac = (c.young_pos + c.young_neg) as f64 / total;
-        assert!((young_frac - P_YOUNG).abs() < 0.02, "young frac {young_frac}");
+        assert!(
+            (young_frac - P_YOUNG).abs() < 0.02,
+            "young frac {young_frac}"
+        );
     }
 
     #[test]

@@ -116,7 +116,10 @@ impl GaussianSpec {
     /// Panics if `classes`, `superclasses` or image dimensions are zero, or
     /// `label_noise` is outside `[0, 1]`.
     pub fn generate(&self) -> SplitDataset {
-        assert!(self.classes > 0 && self.superclasses > 0, "empty class structure");
+        assert!(
+            self.classes > 0 && self.superclasses > 0,
+            "empty class structure"
+        );
         assert!(self.hw > 0 && self.channels > 0, "empty image shape");
         assert!(
             (0.0..=1.0).contains(&self.label_noise),
@@ -163,11 +166,8 @@ impl GaussianSpec {
                 }
             }
             Dataset::new(
-                Tensor::from_vec(
-                    Shape::of(&[n, self.channels, self.hw, self.hw]),
-                    x,
-                )
-                .expect("dataset shape"),
+                Tensor::from_vec(Shape::of(&[n, self.channels, self.hw, self.hw]), x)
+                    .expect("dataset shape"),
                 Targets::Classes(labels),
             )
         };
@@ -302,19 +302,23 @@ mod tests {
         let dim = 3 * spec.hw * spec.hw;
         // Class prototypes approximated by the mean test image per class.
         let mut protos = vec![vec![0f64; dim]; spec.classes];
-        for c in 0..spec.classes {
+        for (c, proto) in protos.iter_mut().enumerate() {
             for s in 0..spec.test_per_class {
                 let row = (c * spec.test_per_class + s) * dim;
-                for j in 0..dim {
-                    protos[c][j] += ds.test.x.as_slice()[row + j] as f64;
+                for (p, &x) in proto.iter_mut().zip(&ds.test.x.as_slice()[row..row + dim]) {
+                    *p += x as f64;
                 }
             }
-            for v in &mut protos[c] {
+            for v in proto.iter_mut() {
                 *v /= spec.test_per_class as f64;
             }
         }
         let dist = |a: &[f64], b: &[f64]| -> f64 {
-            a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f64>().sqrt()
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).powi(2))
+                .sum::<f64>()
+                .sqrt()
         };
         // Class 0 and 20 share superclass 0; class 0 and 1 do not.
         let same_super = dist(&protos[0], &protos[20]);

@@ -1,0 +1,351 @@
+//! detlint — workspace-wide determinism static analysis.
+//!
+//! NoiseScope's whole premise is that a training run, replayed with the same
+//! seeds on the same simulated hardware, produces bit-identical numbers.
+//! That property is easy to break with one careless line: iterate a
+//! `HashMap` into a report, seed an RNG from the wall clock, or sum floats
+//! in whatever order an iterator happens to yield. detlint scans every
+//! Rust source file in the workspace for those hazard patterns and gates CI
+//! on the result.
+//!
+//! # Rules
+//!
+//! | Rule  | Taxonomy  | Hazard |
+//! |-------|-----------|--------|
+//! | DL001 | REPORTING | `HashMap`/`HashSet` iteration feeding accumulation, serialization, or output |
+//! | DL002 | ALGO      | RNG state from OS entropy or wall time (`thread_rng`, `from_entropy`, time-derived seeds) |
+//! | DL003 | REPORTING | Wall-clock reads (`Instant::now`, `SystemTime::now`) in result-producing paths |
+//! | DL004 | IMPL      | Float `sum`/`product`/additive `fold` where evaluation order changes the bit pattern |
+//! | DL005 | IMPL      | Unordered parallel combinators combined with non-associative float ops |
+//!
+//! The taxonomy follows the source paper's decomposition of run-to-run
+//! noise: ALGO (algorithmic randomness — which random numbers are drawn),
+//! IMPL (implementation-level numeric nondeterminism — how the same numbers
+//! are combined), and REPORTING (noise introduced when results are
+//! aggregated and emitted).
+//!
+//! # Suppressions
+//!
+//! A finding that is understood and acceptable is silenced in place:
+//!
+//! ```text
+//! let t = total(); // detlint::allow(DL004, reason = "fixed 4-element array")
+//! ```
+//!
+//! Reasons are mandatory and audited: an allow without a reason, or naming
+//! an unknown rule, is itself a gate-failing problem. Unused allows are
+//! reported as warnings so stale annotations get cleaned up.
+
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod suppress;
+
+use std::path::{Path, PathBuf};
+
+pub use config::Config;
+
+/// The five determinism rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// Hash-container iteration feeding an order-sensitive sink.
+    Dl001,
+    /// RNG state from ambient entropy (OS randomness, wall time).
+    Dl002,
+    /// Wall-clock reads in result-producing paths.
+    Dl003,
+    /// Order-sensitive float reductions.
+    Dl004,
+    /// Unordered parallel combinators with non-associative float ops.
+    Dl005,
+}
+
+/// Where a hazard injects noise, following the paper's decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Taxonomy {
+    /// Algorithmic randomness: which random numbers are drawn.
+    Algo,
+    /// Implementation-level nondeterminism: how numbers are combined.
+    Impl,
+    /// Noise introduced while aggregating and emitting results.
+    Reporting,
+}
+
+impl Taxonomy {
+    /// Uppercase display name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Taxonomy::Algo => "ALGO",
+            Taxonomy::Impl => "IMPL",
+            Taxonomy::Reporting => "REPORTING",
+        }
+    }
+}
+
+impl RuleId {
+    /// Every rule, in ID order.
+    pub const ALL: [RuleId; 5] = [
+        RuleId::Dl001,
+        RuleId::Dl002,
+        RuleId::Dl003,
+        RuleId::Dl004,
+        RuleId::Dl005,
+    ];
+
+    /// Canonical `DLxxx` name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RuleId::Dl001 => "DL001",
+            RuleId::Dl002 => "DL002",
+            RuleId::Dl003 => "DL003",
+            RuleId::Dl004 => "DL004",
+            RuleId::Dl005 => "DL005",
+        }
+    }
+
+    /// Parses a `DLxxx` name.
+    pub fn parse(s: &str) -> Option<RuleId> {
+        RuleId::ALL.into_iter().find(|r| r.as_str() == s)
+    }
+
+    /// Which noise source the rule polices.
+    pub fn taxonomy(self) -> Taxonomy {
+        match self {
+            RuleId::Dl001 | RuleId::Dl003 => Taxonomy::Reporting,
+            RuleId::Dl002 => Taxonomy::Algo,
+            RuleId::Dl004 | RuleId::Dl005 => Taxonomy::Impl,
+        }
+    }
+
+    /// One-line rule description.
+    pub fn summary(self) -> &'static str {
+        match self {
+            RuleId::Dl001 => "HashMap/HashSet iteration feeding accumulation or output",
+            RuleId::Dl002 => "RNG seeded from OS entropy or wall time",
+            RuleId::Dl003 => "wall-clock read in a result-producing path",
+            RuleId::Dl004 => "order-sensitive float reduction",
+            RuleId::Dl005 => "unordered parallel float reduction",
+        }
+    }
+}
+
+/// One hazard found in the scanned source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The rule that fired.
+    pub rule: RuleId,
+    /// Workspace-relative path (`/`-separated).
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// What is wrong and why it matters.
+    pub message: String,
+}
+
+/// A malformed suppression — gate-failing, like a finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Problem {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line of the bad annotation.
+    pub line: u32,
+    /// What is malformed.
+    pub message: String,
+}
+
+/// The result of scanning a workspace (or a single file).
+#[derive(Debug, Default)]
+pub struct ScanReport {
+    /// Unsuppressed findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Findings silenced by a valid `detlint::allow`, with the reason.
+    pub suppressed: Vec<(Finding, String)>,
+    /// Malformed suppressions (missing reason, unknown rule).
+    pub problems: Vec<Problem>,
+    /// Valid suppressions that matched nothing: `(file, line, rule)`.
+    pub unused_allows: Vec<(String, u32, RuleId)>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl ScanReport {
+    /// `true` when the gate passes: no findings and no problems.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty() && self.problems.is_empty()
+    }
+
+    fn merge(&mut self, other: ScanReport) {
+        self.findings.extend(other.findings);
+        self.suppressed.extend(other.suppressed);
+        self.problems.extend(other.problems);
+        self.unused_allows.extend(other.unused_allows);
+        self.files_scanned += other.files_scanned;
+    }
+}
+
+/// Scans one file's source text. `rel_path` decides rule exemptions and
+/// test-path handling, so fixture tests can exercise rules directly.
+pub fn scan_file(rel_path: &str, source: &str, config: &Config) -> ScanReport {
+    let lexed = lexer::lex(source);
+    let findings = rules::run_rules(rel_path, &lexed, config);
+    let suppressions = suppress::parse_suppressions(&lexed.comments, &lexed.tokens);
+
+    let mut report = ScanReport {
+        files_scanned: 1,
+        ..ScanReport::default()
+    };
+    let mut used = vec![false; suppressions.len()];
+    for s in &suppressions {
+        match (&s.rule, &s.reason) {
+            (Err(raw), _) => report.problems.push(Problem {
+                file: rel_path.to_string(),
+                line: s.line,
+                message: format!(
+                    "detlint::allow names unknown rule `{raw}` \
+                     (expected DL001..DL005)"
+                ),
+            }),
+            (Ok(rule), None) => report.problems.push(Problem {
+                file: rel_path.to_string(),
+                line: s.line,
+                message: format!(
+                    "detlint::allow({}) is missing a reason; write \
+                     `detlint::allow({}, reason = \"...\")`",
+                    rule.as_str(),
+                    rule.as_str()
+                ),
+            }),
+            (Ok(_), Some(_)) => {}
+        }
+    }
+    for f in findings {
+        let hit = suppressions
+            .iter()
+            .enumerate()
+            .find(|(_, s)| s.covers == f.line && s.rule == Ok(f.rule) && s.reason.is_some());
+        match hit {
+            Some((idx, s)) => {
+                used[idx] = true;
+                report
+                    .suppressed
+                    .push((f, s.reason.clone().unwrap_or_default()));
+            }
+            None => report.findings.push(f),
+        }
+    }
+    for (s, used) in suppressions.iter().zip(used) {
+        if let (Ok(rule), Some(_), false) = (&s.rule, &s.reason, used) {
+            report
+                .unused_allows
+                .push((rel_path.to_string(), s.line, *rule));
+        }
+    }
+    report
+}
+
+/// Scans every `.rs` file under `root`, honoring config excludes.
+/// Files are visited in sorted order so output is deterministic — detlint
+/// holds itself to the standard it enforces.
+pub fn scan_workspace(root: &Path, config: &Config) -> std::io::Result<ScanReport> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, config, &mut files)?;
+    files.sort();
+    let mut report = ScanReport::default();
+    for rel in &files {
+        let source = std::fs::read_to_string(root.join(rel))?;
+        report.merge(scan_file(rel, &source, config));
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(report)
+}
+
+fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    config: &Config,
+    out: &mut Vec<String>,
+) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if config.excluded(&rel) {
+            continue;
+        }
+        let ty = entry.file_type()?;
+        if ty.is_dir() {
+            collect_rs_files(root, &path, config, out)?;
+        } else if ty.is_file() && rel.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Walks up from `start` to the directory containing `detlint.toml`
+/// (falling back to a workspace `Cargo.toml`).
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    let mut cargo_root = None;
+    while let Some(d) = dir {
+        if d.join("detlint.toml").is_file() {
+            return Some(d);
+        }
+        if cargo_root.is_none() {
+            let manifest = d.join("Cargo.toml");
+            if manifest.is_file()
+                && std::fs::read_to_string(&manifest).is_ok_and(|t| t.contains("[workspace]"))
+            {
+                cargo_root = Some(d.clone());
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    cargo_root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_ids_round_trip() {
+        for rule in RuleId::ALL {
+            assert_eq!(RuleId::parse(rule.as_str()), Some(rule));
+        }
+        assert_eq!(RuleId::parse("DL999"), None);
+    }
+
+    #[test]
+    fn suppression_silences_finding_and_is_marked_used() {
+        let src = "fn f() -> f64 {\n    // detlint::allow(DL004, reason = \"fixed-size input\")\n    self.xs.iter().sum()\n}\n";
+        let report = scan_file("src/x.rs", src, &Config::default());
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        assert_eq!(report.suppressed.len(), 1);
+        assert!(report.unused_allows.is_empty());
+        assert!(report.clean());
+    }
+
+    #[test]
+    fn unused_allow_is_warned_not_failed() {
+        let src = "// detlint::allow(DL001, reason = \"nothing here\")\nfn f() {}\n";
+        let report = scan_file("src/x.rs", src, &Config::default());
+        assert!(report.clean());
+        assert_eq!(report.unused_allows.len(), 1);
+    }
+
+    #[test]
+    fn bad_allows_fail_the_gate() {
+        let src = "// detlint::allow(DL004)\nfn f() {}\n// detlint::allow(DL077, reason = \"?\")\nfn g() {}\n";
+        let report = scan_file("src/x.rs", src, &Config::default());
+        assert_eq!(report.problems.len(), 2);
+        assert!(!report.clean());
+    }
+}

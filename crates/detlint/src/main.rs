@@ -1,0 +1,101 @@
+//! The `detlint` binary: scans the workspace and reports hazards.
+//!
+//! ```text
+//! detlint [--json] [--root <dir>] [--config <file>] [--list-rules]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings or malformed suppressions,
+//! `2` usage / IO / config error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use detlint::{config::Config, find_workspace_root, report, RuleId};
+
+struct Args {
+    json: bool,
+    root: Option<PathBuf>,
+    config: Option<PathBuf>,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        json: false,
+        root: None,
+        config: None,
+        list_rules: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => args.json = true,
+            "--list-rules" => args.list_rules = true,
+            "--root" => {
+                args.root = Some(it.next().ok_or("--root requires a directory")?.into());
+            }
+            "--config" => {
+                args.config = Some(it.next().ok_or("--config requires a file")?.into());
+            }
+            "--help" | "-h" => {
+                println!(
+                    "detlint — determinism static analysis\n\n\
+                     USAGE: detlint [--json] [--root <dir>] [--config <file>] \
+                     [--list-rules]\n\n\
+                     Scans every .rs file under the workspace root for \
+                     determinism hazards\n(DL001..DL005) and exits nonzero if \
+                     any unsuppressed finding remains."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    if args.list_rules {
+        for rule in RuleId::ALL {
+            println!(
+                "{} [{}] {}",
+                rule.as_str(),
+                rule.taxonomy().as_str(),
+                rule.summary()
+            );
+        }
+        return Ok(true);
+    }
+    let root = match args.root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+            find_workspace_root(&cwd)
+                .ok_or("no detlint.toml or workspace Cargo.toml found; use --root")?
+        }
+    };
+    let config_path = args.config.unwrap_or_else(|| root.join("detlint.toml"));
+    let config = Config::load(&config_path)?;
+    let report_data =
+        detlint::scan_workspace(&root, &config).map_err(|e| format!("scan failed: {e}"))?;
+    if args.json {
+        let doc = serde_json::to_string_pretty(&report::json(&report_data))
+            .map_err(|e| format!("JSON encoding failed: {e}"))?;
+        println!("{doc}");
+    } else {
+        print!("{}", report::human(&report_data));
+    }
+    Ok(report_data.clean())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("detlint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Parsing and matching of `detlint::allow` suppression comments.
+//!
+//! A suppression is written as a comment:
+//!
+//! ```text
+//! // detlint::allow(DL004, reason = "batch order is fixed upstream")
+//! ```
+//!
+//! A trailing comment suppresses findings on its own line; a standalone
+//! comment suppresses findings on the next line that has code. A reason
+//! is mandatory — an allow without one (or naming an unknown rule) is
+//! itself a gate-failing problem, so suppressions stay auditable.
+
+use crate::lexer::{Comment, Tok};
+use crate::RuleId;
+
+/// One parsed `detlint::allow` annotation.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Line of the comment itself.
+    pub line: u32,
+    /// Source line whose findings it suppresses.
+    pub covers: u32,
+    /// The named rule, or `Err(raw_text)` if unknown.
+    pub rule: Result<RuleId, String>,
+    /// The mandatory reason string (`None` if missing).
+    pub reason: Option<String>,
+}
+
+/// Extracts all suppressions from a file's comments.
+///
+/// `tokens` is used to resolve which line a standalone comment covers.
+pub fn parse_suppressions(comments: &[Comment], tokens: &[Tok]) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for c in comments {
+        // Doc comments (`///` → text starting with `/`, `//!` → `!`) are
+        // prose; only plain comments carry annotations, and only with the
+        // full call form so mentions of the feature don't parse.
+        if c.text.starts_with('/') || c.text.starts_with('!') {
+            continue;
+        }
+        let Some(at) = c.text.find("detlint::allow(") else {
+            continue;
+        };
+        let rest = &c.text[at + "detlint::allow".len()..];
+        let (rule_raw, reason) = parse_args(rest);
+        let covers = if c.trailing {
+            c.line
+        } else {
+            tokens
+                .iter()
+                .map(|t| t.line)
+                .find(|&l| l > c.line)
+                .unwrap_or(c.line + 1)
+        };
+        let rule = RuleId::parse(&rule_raw).ok_or(rule_raw);
+        out.push(Suppression {
+            line: c.line,
+            covers,
+            rule,
+            reason,
+        });
+    }
+    out
+}
+
+/// Parses `(<rule>[, reason = "<text>"])` after the `allow` keyword.
+fn parse_args(rest: &str) -> (String, Option<String>) {
+    let mut chars = rest.chars().peekable();
+    skip_ws(&mut chars);
+    if chars.next() != Some('(') {
+        return (String::new(), None);
+    }
+    skip_ws(&mut chars);
+    let mut rule = String::new();
+    while let Some(&c) = chars.peek() {
+        if c.is_alphanumeric() || c == '_' {
+            rule.push(c);
+            chars.next();
+        } else {
+            break;
+        }
+    }
+    skip_ws(&mut chars);
+    if chars.peek() != Some(&',') {
+        return (rule, None);
+    }
+    chars.next();
+    skip_ws(&mut chars);
+    let keyword: String =
+        std::iter::from_fn(|| chars.next_if(|c| c.is_alphanumeric() || *c == '_')).collect();
+    skip_ws(&mut chars);
+    if keyword != "reason" || chars.next() != Some('=') {
+        return (rule, None);
+    }
+    skip_ws(&mut chars);
+    if chars.next() != Some('"') {
+        return (rule, None);
+    }
+    let mut reason = String::new();
+    let mut escaped = false;
+    for c in chars {
+        if escaped {
+            reason.push(c);
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == '"' {
+            let trimmed = reason.trim();
+            return (rule, (!trimmed.is_empty()).then(|| trimmed.to_string()));
+        } else {
+            reason.push(c);
+        }
+    }
+    // Unterminated reason string: treat as missing.
+    (rule, None)
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while chars.next_if(|c| c.is_whitespace()).is_some() {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn trailing_covers_same_line() {
+        let lexed = lex("let t = x.sum(); // detlint::allow(DL004, reason = \"len <= 4\")\n");
+        let sups = parse_suppressions(&lexed.comments, &lexed.tokens);
+        assert_eq!(sups.len(), 1);
+        assert_eq!(sups[0].covers, 1);
+        assert_eq!(sups[0].rule, Ok(RuleId::Dl004));
+        assert_eq!(sups[0].reason.as_deref(), Some("len <= 4"));
+    }
+
+    #[test]
+    fn standalone_covers_next_code_line() {
+        let src = "\
+// detlint::allow(DL003, reason = \"diagnostic only\")
+//
+// another comment in between
+let t = std::time::Instant::now();
+";
+        let lexed = lex(src);
+        let sups = parse_suppressions(&lexed.comments, &lexed.tokens);
+        assert_eq!(sups.len(), 1);
+        assert_eq!(sups[0].covers, 4);
+    }
+
+    #[test]
+    fn missing_reason_and_unknown_rule_are_reported() {
+        let lexed = lex(
+            "// detlint::allow(DL001)\nlet a = 1;\n// detlint::allow(DL042, reason = \"x\")\nlet b = 2;\n",
+        );
+        let sups = parse_suppressions(&lexed.comments, &lexed.tokens);
+        assert_eq!(sups.len(), 2);
+        assert!(sups[0].reason.is_none());
+        assert_eq!(sups[1].rule, Err("DL042".to_string()));
+    }
+
+    #[test]
+    fn empty_reason_counts_as_missing() {
+        let lexed = lex("// detlint::allow(DL002, reason = \"  \")\nlet x = 1;\n");
+        let sups = parse_suppressions(&lexed.comments, &lexed.tokens);
+        assert!(sups[0].reason.is_none());
+    }
+}

@@ -1,0 +1,14 @@
+//! Malformed-suppression fixture: every annotation here is a gate-failing
+//! problem (missing reason, empty reason, unknown rule).
+
+pub fn missing_reason(xs: &[f32]) -> f32 {
+    xs.iter().sum() // detlint::allow(DL004)
+}
+
+pub fn empty_reason(xs: &[f64]) -> f64 {
+    xs.iter().sum() // detlint::allow(DL004, reason = "")
+}
+
+pub fn unknown_rule(xs: &[f32]) -> f32 {
+    xs.iter().sum() // detlint::allow(DL999, reason = "no such rule")
+}

@@ -1,0 +1,177 @@
+//! Fixture-driven proof that every rule fires and suppressions behave.
+//!
+//! Each fixture under `tests/fixtures/` is scanned as if it were workspace
+//! source (the real workspace scan excludes the directory). Hazard lines
+//! are marked with a `// fires:` comment, so the expectations below stay
+//! readable next to the fixtures themselves.
+
+use detlint::{Config, RuleId, ScanReport};
+
+fn scan_fixture(name: &str, source: &str) -> ScanReport {
+    detlint::scan_file(name, source, &Config::default())
+}
+
+fn lines_for(report: &ScanReport, rule: RuleId) -> Vec<u32> {
+    report
+        .findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.line)
+        .collect()
+}
+
+/// Lines in a fixture marked with a `// fires:` comment.
+fn marked_lines(source: &str) -> Vec<u32> {
+    source
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| l.contains("// fires:"))
+        .map(|(i, _)| i as u32 + 1)
+        .collect()
+}
+
+#[test]
+fn dl001_fires_on_every_marked_line() {
+    let src = include_str!("fixtures/dl001_hashmap_iter.rs");
+    let report = scan_fixture("fixtures/dl001_hashmap_iter.rs", src);
+    assert_eq!(lines_for(&report, RuleId::Dl001), marked_lines(src));
+    assert!(report.problems.is_empty());
+}
+
+#[test]
+fn dl002_fires_on_every_marked_line() {
+    let src = include_str!("fixtures/dl002_entropy.rs");
+    let report = scan_fixture("fixtures/dl002_entropy.rs", src);
+    assert_eq!(lines_for(&report, RuleId::Dl002), marked_lines(src));
+}
+
+#[test]
+fn dl003_fires_on_every_marked_line() {
+    let src = include_str!("fixtures/dl003_wallclock.rs");
+    let report = scan_fixture("fixtures/dl003_wallclock.rs", src);
+    assert_eq!(lines_for(&report, RuleId::Dl003), marked_lines(src));
+}
+
+#[test]
+fn dl004_fires_on_every_marked_line() {
+    let src = include_str!("fixtures/dl004_float_sum.rs");
+    let report = scan_fixture("fixtures/dl004_float_sum.rs", src);
+    assert_eq!(lines_for(&report, RuleId::Dl004), marked_lines(src));
+}
+
+#[test]
+fn dl005_fires_on_every_marked_line() {
+    let src = include_str!("fixtures/dl005_parallel.rs");
+    let report = scan_fixture("fixtures/dl005_parallel.rs", src);
+    assert_eq!(lines_for(&report, RuleId::Dl005), marked_lines(src));
+}
+
+#[test]
+fn every_rule_has_fixture_coverage() {
+    // Guards against a rule existing with no fixture proving it fires.
+    let all = [
+        include_str!("fixtures/dl001_hashmap_iter.rs"),
+        include_str!("fixtures/dl002_entropy.rs"),
+        include_str!("fixtures/dl003_wallclock.rs"),
+        include_str!("fixtures/dl004_float_sum.rs"),
+        include_str!("fixtures/dl005_parallel.rs"),
+    ];
+    let mut fired: Vec<RuleId> = Vec::new();
+    for (i, src) in all.iter().enumerate() {
+        let report = scan_fixture(&format!("fixtures/f{i}.rs"), src);
+        fired.extend(report.findings.iter().map(|f| f.rule));
+    }
+    for rule in RuleId::ALL {
+        assert!(
+            fired.contains(&rule),
+            "{} has no firing fixture",
+            rule.as_str()
+        );
+    }
+}
+
+#[test]
+fn valid_suppressions_silence_every_hazard() {
+    let src = include_str!("fixtures/suppressed.rs");
+    let report = scan_fixture("fixtures/suppressed.rs", src);
+    assert!(
+        report.findings.is_empty(),
+        "unsuppressed: {:?}",
+        report.findings
+    );
+    assert!(
+        report.problems.is_empty(),
+        "problems: {:?}",
+        report.problems
+    );
+    assert!(
+        report.unused_allows.is_empty(),
+        "unused: {:?}",
+        report.unused_allows
+    );
+    assert_eq!(report.suppressed.len(), 5);
+    // One suppression per rule, each with its reason preserved.
+    let mut rules: Vec<RuleId> = report.suppressed.iter().map(|(f, _)| f.rule).collect();
+    rules.sort();
+    assert_eq!(rules, RuleId::ALL);
+    assert!(report
+        .suppressed
+        .iter()
+        .all(|(_, reason)| !reason.is_empty()));
+    assert!(report.clean());
+}
+
+#[test]
+fn clean_fixture_has_no_findings() {
+    let src = include_str!("fixtures/clean.rs");
+    let report = scan_fixture("fixtures/clean.rs", src);
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert!(report.problems.is_empty());
+    assert!(report.clean());
+}
+
+#[test]
+fn malformed_allows_fail_the_gate() {
+    let src = include_str!("fixtures/bad_allow.rs");
+    let report = scan_fixture("fixtures/bad_allow.rs", src);
+    // Three malformed annotations, and none of them silences its finding.
+    assert_eq!(report.problems.len(), 3);
+    assert_eq!(lines_for(&report, RuleId::Dl004).len(), 3);
+    assert!(!report.clean());
+    let messages: String = report
+        .problems
+        .iter()
+        .map(|p| p.message.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(messages.contains("missing a reason"));
+    assert!(messages.contains("unknown rule"));
+}
+
+#[test]
+fn per_rule_exemptions_disable_only_that_rule() {
+    let mut config = Config::default();
+    config
+        .exempt
+        .insert(RuleId::Dl004, vec!["crates/special".to_string()]);
+    let src =
+        "fn f(xs: &[f32]) -> f32 {\n let t = std::time::Instant::now();\n xs.iter().sum()\n}\n";
+    let exempted = detlint::scan_file("crates/special/src/lib.rs", src, &config);
+    assert!(lines_for(&exempted, RuleId::Dl004).is_empty());
+    assert_eq!(lines_for(&exempted, RuleId::Dl003).len(), 1);
+    let normal = detlint::scan_file("crates/other/src/lib.rs", src, &config);
+    assert_eq!(lines_for(&normal, RuleId::Dl004).len(), 1);
+}
+
+#[test]
+fn test_code_is_skipped_unless_configured() {
+    let src = "#[cfg(test)]\nmod tests {\n #[test]\n fn t() { let x: f64 = v.iter().sum(); }\n}\n";
+    let default_scan = detlint::scan_file("crates/x/src/lib.rs", src, &Config::default());
+    assert!(default_scan.findings.is_empty());
+    let config = Config {
+        scan_test_code: true,
+        ..Config::default()
+    };
+    let full_scan = detlint::scan_file("crates/x/src/lib.rs", src, &config);
+    assert_eq!(lines_for(&full_scan, RuleId::Dl004).len(), 1);
+}

@@ -205,7 +205,11 @@ impl CostModel {
                 out_features,
             } => {
                 let flops = 2.0 * (batch * in_features * out_features) as f64;
-                let util = if deterministic { c.det_gemm_util as f64 } else { 1.0 };
+                let util = if deterministic {
+                    c.det_gemm_util as f64
+                } else {
+                    1.0
+                };
                 flops / (self.eff_tflops as f64 * 1e12 * util)
             }
             WorkloadOp::BatchNorm { elems } => {
@@ -229,6 +233,8 @@ impl CostModel {
 }
 
 #[cfg(test)]
+// Tests assert exact float values: bit-identical replay is the property under test.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 
@@ -251,9 +257,19 @@ mod tests {
         let g5 = geom(5);
         let g7 = geom(7);
         let r5 = m.conv_pass_time(ConvAlgorithm::FftTiling, ConvPass::Forward, &g5, 32)
-            / m.conv_pass_time(ConvAlgorithm::ImplicitGemmAtomic, ConvPass::Forward, &g5, 32);
+            / m.conv_pass_time(
+                ConvAlgorithm::ImplicitGemmAtomic,
+                ConvPass::Forward,
+                &g5,
+                32,
+            );
         let r7 = m.conv_pass_time(ConvAlgorithm::FftTiling, ConvPass::Forward, &g7, 32)
-            / m.conv_pass_time(ConvAlgorithm::ImplicitGemmAtomic, ConvPass::Forward, &g7, 32);
+            / m.conv_pass_time(
+                ConvAlgorithm::ImplicitGemmAtomic,
+                ConvPass::Forward,
+                &g7,
+                32,
+            );
         assert!(r7 < r5, "fft relative time should drop with k");
     }
 
@@ -262,9 +278,14 @@ mod tests {
         for d in [Device::p100(), Device::v100(), Device::t4()] {
             let m = CostModel::for_device(&d);
             let g = geom(3);
-            let det = m.conv_pass_time(ConvAlgorithm::ImplicitGemmDet, ConvPass::WeightGrad, &g, 32);
-            let nd =
-                m.conv_pass_time(ConvAlgorithm::ImplicitGemmAtomic, ConvPass::WeightGrad, &g, 32);
+            let det =
+                m.conv_pass_time(ConvAlgorithm::ImplicitGemmDet, ConvPass::WeightGrad, &g, 32);
+            let nd = m.conv_pass_time(
+                ConvAlgorithm::ImplicitGemmAtomic,
+                ConvPass::WeightGrad,
+                &g,
+                32,
+            );
             assert!(det > nd, "{}", d.name());
         }
     }
@@ -275,7 +296,12 @@ mod tests {
         let ratio = |d: Device| {
             let m = CostModel::for_device(&d);
             m.conv_pass_time(ConvAlgorithm::ImplicitGemmDet, ConvPass::WeightGrad, &g, 32)
-                / m.conv_pass_time(ConvAlgorithm::ImplicitGemmAtomic, ConvPass::WeightGrad, &g, 32)
+                / m.conv_pass_time(
+                    ConvAlgorithm::ImplicitGemmAtomic,
+                    ConvPass::WeightGrad,
+                    &g,
+                    32,
+                )
         };
         assert!(ratio(Device::p100()) > ratio(Device::v100()));
         assert!(ratio(Device::v100()) > ratio(Device::t4()));

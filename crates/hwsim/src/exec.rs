@@ -141,9 +141,7 @@ impl ExecutionContext {
 
     /// Whether any op class in this context is nondeterministic.
     pub fn is_nondeterministic(&self) -> bool {
-        self.reducers
-            .iter()
-            .any(|r| !r.order().is_deterministic())
+        self.reducers.iter().any(|r| !r.order().is_deterministic())
     }
 }
 

@@ -194,12 +194,27 @@ mod tests {
     fn kernel_names_are_stable_and_distinct_by_tile() {
         let small = ConvGeometry::new(3, 16, 3, 1, 1, 8, 8);
         let large = ConvGeometry::new(3, 512, 3, 1, 1, 8, 8);
-        let a = kernel_name("volta", ConvAlgorithm::WinogradNonfused, ConvPass::Forward, &small);
-        let b = kernel_name("volta", ConvAlgorithm::WinogradNonfused, ConvPass::Forward, &large);
+        let a = kernel_name(
+            "volta",
+            ConvAlgorithm::WinogradNonfused,
+            ConvPass::Forward,
+            &small,
+        );
+        let b = kernel_name(
+            "volta",
+            ConvAlgorithm::WinogradNonfused,
+            ConvPass::Forward,
+            &large,
+        );
         assert_ne!(a, b);
         assert_eq!(
             a,
-            kernel_name("volta", ConvAlgorithm::WinogradNonfused, ConvPass::Forward, &small)
+            kernel_name(
+                "volta",
+                ConvAlgorithm::WinogradNonfused,
+                ConvPass::Forward,
+                &small
+            )
         );
         assert!(a.contains("winograd"));
         assert!(a.contains("fprop"));

@@ -11,8 +11,9 @@ use crate::cost::CostModel;
 use crate::device::Device;
 use crate::exec::ExecutionMode;
 use crate::workload::WorkloadOp;
+use nstensor::reduce::sum_ordered_f64;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Aggregated time of one kernel across a profiled run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -62,7 +63,7 @@ impl KernelProfile {
 
     /// Total simulated GPU time across all kernels, in seconds.
     pub fn total_time_s(&self) -> f64 {
-        self.records.iter().map(|r| r.total_time_s).sum()
+        sum_ordered_f64(self.records.iter().map(|r| r.total_time_s))
     }
 
     /// Number of distinct kernels scheduled.
@@ -132,7 +133,10 @@ pub fn profile_workload(
 ) -> KernelProfile {
     let model = CostModel::for_device(device);
     let deterministic = mode == ExecutionMode::Deterministic;
-    let mut agg: HashMap<String, KernelRecord> = HashMap::new();
+    // BTreeMap, not HashMap: the aggregate is iterated into the sorted
+    // record list below, and kernels tied on total time must come out in
+    // the same order every run (detlint DL001).
+    let mut agg: BTreeMap<String, KernelRecord> = BTreeMap::new();
     let mut add = |name: String, time_s: f64| {
         let e = agg.entry(name.clone()).or_insert(KernelRecord {
             name,
@@ -176,7 +180,10 @@ pub fn profile_workload(
                 let t = model.misc_op_time(op, deterministic);
                 let det_tag = if deterministic { "det" } else { "atomic" };
                 add(format!("bn_fw_stats_{det_tag}"), t);
-                add(format!("bn_bw_reduce_{det_tag}"), t * elems.clamp(1, 2) as f64 / 2.0);
+                add(
+                    format!("bn_bw_reduce_{det_tag}"),
+                    t * elems.clamp(1, 2) as f64 / 2.0,
+                );
             }
             WorkloadOp::Pool { .. } => {
                 let t = model.misc_op_time(op, deterministic);
@@ -191,7 +198,12 @@ pub fn profile_workload(
     }
 
     let mut records: Vec<KernelRecord> = agg.into_values().collect();
-    records.sort_by(|a, b| b.total_time_s.total_cmp(&a.total_time_s));
+    // Tie-break on name so equal-cost kernels keep a stable order.
+    records.sort_by(|a, b| {
+        b.total_time_s
+            .total_cmp(&a.total_time_s)
+            .then_with(|| a.name.cmp(&b.name))
+    });
     KernelProfile {
         device: device.name().to_string(),
         mode,
@@ -201,6 +213,8 @@ pub fn profile_workload(
 }
 
 #[cfg(test)]
+// Tests assert exact float values: bit-identical replay is the property under test.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use nstensor::ConvGeometry;
@@ -211,8 +225,12 @@ mod tests {
                 geom: ConvGeometry::new(3, 16, 3, 1, 1, 32, 32),
                 batch: 8,
             },
-            WorkloadOp::BatchNorm { elems: 16 * 32 * 32 * 8 },
-            WorkloadOp::Activation { elems: 16 * 32 * 32 * 8 },
+            WorkloadOp::BatchNorm {
+                elems: 16 * 32 * 32 * 8,
+            },
+            WorkloadOp::Activation {
+                elems: 16 * 32 * 32 * 8,
+            },
             WorkloadOp::Conv {
                 geom: ConvGeometry::new(16, 32, 3, 1, 1, 16, 16),
                 batch: 8,

@@ -128,6 +128,8 @@ pub fn subgroup_accuracy<T: PartialEq>(preds: &[T], labels: &[T], mask: &[bool])
 }
 
 #[cfg(test)]
+// Tests assert exact float values: bit-identical replay is the property under test.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -1,5 +1,7 @@
 //! Replica-divergence metrics: churn and weight-space distance.
 
+use nstensor::reduce::sum_ordered_f64;
+
 /// Predictive churn between two models' predictions (Milani Fard et al.,
 /// 2016; paper Eq. 2): the fraction of examples on which they disagree.
 ///
@@ -29,20 +31,17 @@ pub fn churn<T: PartialEq>(a: &[T], b: &[T]) -> f64 {
 /// Panics if the vectors have different lengths.
 pub fn l2_normalized(a: &[f32], b: &[f32]) -> f64 {
     assert_eq!(a.len(), b.len(), "weight length mismatch");
-    let na = a.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt();
-    let nb = b.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt();
+    let na = sum_ordered_f64(a.iter().map(|&x| (x as f64) * (x as f64))).sqrt();
+    let nb = sum_ordered_f64(b.iter().map(|&x| (x as f64) * (x as f64))).sqrt();
     if na == 0.0 || nb == 0.0 {
         // A zero vector has no direction; distance to the other unit vector.
-        return if na == nb { 0.0 } else { 1.0 };
+        return if na == 0.0 && nb == 0.0 { 0.0 } else { 1.0 };
     }
-    a.iter()
-        .zip(b)
-        .map(|(&x, &y)| {
-            let d = x as f64 / na - y as f64 / nb;
-            d * d
-        })
-        .sum::<f64>()
-        .sqrt()
+    sum_ordered_f64(a.iter().zip(b).map(|(&x, &y)| {
+        let d = x as f64 / na - y as f64 / nb;
+        d * d
+    }))
+    .sqrt()
 }
 
 /// Mean churn over all unordered replica pairs.
@@ -72,6 +71,8 @@ fn pairwise_mean<T>(items: &[Vec<T>], f: impl Fn(&[T], &[T]) -> f64) -> f64 {
 }
 
 #[cfg(test)]
+// Tests assert exact float values: bit-identical replay is the property under test.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 
@@ -106,7 +107,10 @@ mod tests {
     fn l2_is_scale_invariant() {
         let a = vec![1.0f32, 2.0, 3.0];
         let b: Vec<f32> = a.iter().map(|x| x * 7.5).collect();
-        assert!(l2_normalized(&a, &b) < 1e-7, "scaled copies should coincide");
+        assert!(
+            l2_normalized(&a, &b) < 1e-7,
+            "scaled copies should coincide"
+        );
     }
 
     #[test]

@@ -1,11 +1,16 @@
 //! Basic statistics used by the stability reports.
+//!
+//! All reductions route through [`nstensor::reduce`]'s ordered helpers so
+//! their accumulation order is fixed and centrally audited (detlint DL004).
+
+use nstensor::reduce::sum_ordered_f64;
 
 /// Arithmetic mean (0 for an empty slice).
 pub fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }
-    xs.iter().sum::<f64>() / xs.len() as f64
+    sum_ordered_f64(xs.iter().copied()) / xs.len() as f64
 }
 
 /// Sample standard deviation (Bessel-corrected; 0 for fewer than two
@@ -22,7 +27,7 @@ pub fn stddev(xs: &[f64]) -> f64 {
         return 0.0;
     }
     let m = mean(xs);
-    (xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+    (sum_ordered_f64(xs.iter().map(|&x| (x - m) * (x - m))) / (xs.len() - 1) as f64).sqrt()
 }
 
 /// `value / baseline` with the paper's Table-5 convention: 0 baselines map
@@ -36,6 +41,8 @@ pub fn relative_scale(value: f64, baseline: f64) -> f64 {
 }
 
 #[cfg(test)]
+// Tests assert exact float values: bit-identical replay is the property under test.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -154,7 +154,9 @@ fn vgg(batch: usize, convs_per_stage: &[usize]) -> Vec<WorkloadOp> {
         }
         b.pool();
     }
-    b.dense_from_volume(4096).dense(4096, 4096).dense(4096, 1000);
+    b.dense_from_volume(4096)
+        .dense(4096, 4096)
+        .dense(4096, 1000);
     b.finish()
 }
 
@@ -348,7 +350,7 @@ pub fn inception_v3(batch: usize) -> ArchDescriptor {
         .conv(80, 1, 1, true)
         .conv(192, 3, 1, true)
         .pool(); // → ~37
-    // Inception-A ×3 at 35-ish resolution (1×1, 5×5, double-3×3, pool-proj).
+                 // Inception-A ×3 at 35-ish resolution (1×1, 5×5, double-3×3, pool-proj).
     for _ in 0..3 {
         let hw = b.hw;
         let c_in = b.c;

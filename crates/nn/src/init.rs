@@ -68,6 +68,8 @@ impl Init {
 }
 
 #[cfg(test)]
+// Tests assert exact float values: bit-identical replay is the property under test.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use detrand::{Philox, StreamId};

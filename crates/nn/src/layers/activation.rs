@@ -69,7 +69,10 @@ impl Dropout {
     ///
     /// Panics if `rate` is outside `[0, 1)`.
     pub fn new(rate: f32, layer_id: u16) -> Self {
-        assert!((0.0..1.0).contains(&rate), "dropout rate {rate} outside [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&rate),
+            "dropout rate {rate} outside [0, 1)"
+        );
         Self {
             rate,
             layer_id,
@@ -155,7 +158,10 @@ mod tests {
         let mean: f64 = y.as_slice().iter().map(|&v| v as f64).sum::<f64>() / 10_000.0;
         assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
         // Values are either 0 or 1/keep.
-        assert!(y.as_slice().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+        assert!(y
+            .as_slice()
+            .iter()
+            .all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
     }
 
     #[test]

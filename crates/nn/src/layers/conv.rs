@@ -65,8 +65,14 @@ impl Layer for Conv2d {
         _step: u64,
         training: bool,
     ) -> Tensor {
-        let y = conv2d_forward(&x, &self.w, &self.b, &self.geom, exec.reducer(OpClass::MatmulForward))
-            .expect("conv2d forward shape");
+        let y = conv2d_forward(
+            &x,
+            &self.w,
+            &self.b,
+            &self.geom,
+            exec.reducer(OpClass::MatmulForward),
+        )
+        .expect("conv2d forward shape");
         if training {
             self.cached_x = Some(x);
         }
@@ -75,8 +81,14 @@ impl Layer for Conv2d {
 
     fn backward(&mut self, dy: Tensor, exec: &mut ExecutionContext) -> Tensor {
         let x = self.cached_x.take().expect("backward before forward");
-        let grads = conv2d_backward(&x, &self.w, &dy, &self.geom, exec.reducer(OpClass::WeightGrad))
-            .expect("conv2d backward shape");
+        let grads = conv2d_backward(
+            &x,
+            &self.w,
+            &dy,
+            &self.geom,
+            exec.reducer(OpClass::WeightGrad),
+        )
+        .expect("conv2d backward shape");
         self.dw = grads.dw;
         self.db = grads.db;
         grads.dx
@@ -132,7 +144,7 @@ mod tests {
         let mut n = 0;
         l.visit_params(&mut |_, g| {
             n += 1;
-            assert!(g.as_slice().iter().any(|&v| v != 0.0) || g.len() == 0);
+            assert!(g.as_slice().iter().any(|&v| v != 0.0) || g.is_empty());
         });
         assert_eq!(n, 2);
     }

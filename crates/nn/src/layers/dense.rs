@@ -60,8 +60,8 @@ impl Layer for Dense {
         _step: u64,
         training: bool,
     ) -> Tensor {
-        let mut y = matmul(&x, &self.w, exec.reducer(OpClass::MatmulForward))
-            .expect("dense forward shape");
+        let mut y =
+            matmul(&x, &self.w, exec.reducer(OpClass::MatmulForward)).expect("dense forward shape");
         ops::add_row_bias(&mut y, &self.b).expect("bias shape");
         if training {
             self.cached_x = Some(x);
@@ -72,8 +72,7 @@ impl Layer for Dense {
     fn backward(&mut self, dy: Tensor, exec: &mut ExecutionContext) -> Tensor {
         let x = self.cached_x.take().expect("backward before forward");
         // dW = xᵀ·dy — the cross-batch weight-gradient reduction.
-        self.dw = matmul_at_b(&x, &dy, exec.reducer(OpClass::WeightGrad))
-            .expect("dense dW shape");
+        self.dw = matmul_at_b(&x, &dy, exec.reducer(OpClass::WeightGrad)).expect("dense dW shape");
         self.db = ops::sum_rows(&dy, exec.reducer(OpClass::WeightGrad)).expect("dense db shape");
         // dx = dy·Wᵀ.
         matmul_a_bt(&dy, &self.w, exec.reducer(OpClass::InputGrad)).expect("dense dx shape")
@@ -122,8 +121,7 @@ mod tests {
     #[test]
     fn gradient_check() {
         let (mut l, mut exec, root) = make(3, 2);
-        let x = Tensor::from_vec(Shape::of(&[2, 3]), vec![0.5, -1.0, 2.0, 1.5, 0.3, -0.7])
-            .unwrap();
+        let x = Tensor::from_vec(Shape::of(&[2, 3]), vec![0.5, -1.0, 2.0, 1.5, 0.3, -0.7]).unwrap();
         // L = Σ y² — dL/dy = 2y.
         let y = l.forward(x.clone(), &mut exec, &root, 0, true);
         let mut dy = y.clone();
@@ -142,7 +140,10 @@ mod tests {
             xm.as_mut_slice()[i] -= eps;
             let fd = (loss(&mut l, &xp) - loss(&mut l, &xm)) / (2.0 * eps as f64);
             let an = dx.as_slice()[i] as f64;
-            assert!((fd - an).abs() < 1e-2 * fd.abs().max(1.0), "dx[{i}] {fd} vs {an}");
+            assert!(
+                (fd - an).abs() < 1e-2 * fd.abs().max(1.0),
+                "dx[{i}] {fd} vs {an}"
+            );
         }
     }
 

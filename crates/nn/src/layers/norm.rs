@@ -104,8 +104,7 @@ impl Layer for BatchNorm2d {
             }
         }
         if training {
-            self.cached_xhat =
-                Some(Tensor::from_vec(x.shape(), xhat).expect("xhat shape"));
+            self.cached_xhat = Some(Tensor::from_vec(x.shape(), xhat).expect("xhat shape"));
             self.cached_inv_std = inv_std;
         }
         x
@@ -156,10 +155,8 @@ impl Layer for BatchNorm2d {
                 let base = (s * c + ch) * hw;
                 let k = gv[ch] * self.cached_inv_std[ch] / m;
                 for i in 0..hw {
-                    dxv[base + i] = k
-                        * (m * dyv[base + i]
-                            - sum_dy[ch]
-                            - xhv[base + i] * sum_dy_xhat[ch]);
+                    dxv[base + i] =
+                        k * (m * dyv[base + i] - sum_dy[ch] - xhv[base + i] * sum_dy_xhat[ch]);
                 }
             }
         }
@@ -234,7 +231,10 @@ mod tests {
             let x = random_input(8, 1, 4, 4, 100 + seed);
             bn.forward(x, &mut exec, &root, seed, true);
         }
-        assert!(bn.running_mean()[0].abs() > 0.5, "running mean barely moved");
+        assert!(
+            bn.running_mean()[0].abs() > 0.5,
+            "running mean barely moved"
+        );
         // Eval on a constant input: output must be a deterministic function
         // of the running stats, not the batch.
         let x = Tensor::full(Shape::of(&[2, 1, 4, 4]), 3.0);
@@ -285,6 +285,12 @@ mod tests {
     #[should_panic(expected = "channel mismatch")]
     fn channel_mismatch_panics() {
         let (mut bn, mut exec, root) = setup(3);
-        bn.forward(Tensor::zeros(Shape::of(&[1, 2, 2, 2])), &mut exec, &root, 0, true);
+        bn.forward(
+            Tensor::zeros(Shape::of(&[1, 2, 2, 2])),
+            &mut exec,
+            &root,
+            0,
+            true,
+        );
     }
 }

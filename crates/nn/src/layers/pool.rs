@@ -152,11 +152,7 @@ mod tests {
     fn maxpool_round_trip() {
         let root = Philox::from_seed(0);
         let mut l = MaxPool2d::new(2);
-        let x = Tensor::from_vec(
-            Shape::of(&[1, 1, 2, 2]),
-            vec![1.0, 4.0, 2.0, 3.0],
-        )
-        .unwrap();
+        let x = Tensor::from_vec(Shape::of(&[1, 1, 2, 2]), vec![1.0, 4.0, 2.0, 3.0]).unwrap();
         let y = l.forward(x, &mut exec(), &root, 0, true);
         assert_eq!(y.as_slice(), &[4.0]);
         let dx = l.backward(Tensor::full(y.shape(), 1.0), &mut exec());

@@ -326,7 +326,11 @@ mod tests {
     use hwsim::{Device, ExecutionMode};
     use nstensor::Shape;
 
-    fn setup(in_c: usize, out_c: usize, stride: usize) -> (ResidualBlock, ExecutionContext, Philox) {
+    fn setup(
+        in_c: usize,
+        out_c: usize,
+        stride: usize,
+    ) -> (ResidualBlock, ExecutionContext, Philox) {
         let root = Philox::from_seed(21);
         let mut rng = root.stream(StreamId::INIT.child(0));
         (

@@ -130,11 +130,8 @@ mod tests {
 
     #[test]
     fn ce_gradient_matches_finite_difference() {
-        let logits = Tensor::from_vec(
-            Shape::of(&[2, 3]),
-            vec![0.5, -0.2, 0.1, -1.0, 0.3, 0.8],
-        )
-        .unwrap();
+        let logits =
+            Tensor::from_vec(Shape::of(&[2, 3]), vec![0.5, -0.2, 0.1, -1.0, 0.3, 0.8]).unwrap();
         let labels = [2u32, 1];
         let (_, grad) = softmax_cross_entropy(&logits, &labels);
         let eps = 1e-3f32;
@@ -163,8 +160,7 @@ mod tests {
 
     #[test]
     fn bce_gradient_matches_finite_difference() {
-        let logits =
-            Tensor::from_vec(Shape::of(&[2, 2]), vec![0.3, -1.2, 2.0, 0.0]).unwrap();
+        let logits = Tensor::from_vec(Shape::of(&[2, 2]), vec![0.3, -1.2, 2.0, 0.0]).unwrap();
         let targets = Tensor::from_vec(Shape::of(&[2, 2]), vec![1.0, 0.0, 1.0, 1.0]).unwrap();
         let (_, grad) = sigmoid_bce(&logits, &targets);
         let eps = 1e-3f32;

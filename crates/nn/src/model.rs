@@ -99,11 +99,9 @@ impl Network {
     pub fn weight_norm(&mut self) -> f64 {
         let mut s = 0f64;
         self.visit_params(&mut |p, _| {
-            s += p
-                .as_slice()
-                .iter()
-                .map(|&v| (v as f64) * (v as f64))
-                .sum::<f64>();
+            s += nstensor::reduce::sum_ordered_f64(
+                p.as_slice().iter().map(|&v| (v as f64) * (v as f64)),
+            );
         });
         s.sqrt()
     }
@@ -136,7 +134,13 @@ mod tests {
     fn forward_backward_shapes() {
         let (mut net, root) = mlp(1);
         let mut exec = ExecutionContext::new(Device::cpu(), ExecutionMode::Default, 0);
-        let y = net.forward(Tensor::full(Shape::of(&[4, 3]), 0.5), &mut exec, &root, 0, true);
+        let y = net.forward(
+            Tensor::full(Shape::of(&[4, 3]), 0.5),
+            &mut exec,
+            &root,
+            0,
+            true,
+        );
         assert_eq!(y.shape().dims(), &[4, 2]);
         let dx = net.backward(Tensor::full(Shape::of(&[4, 2]), 1.0), &mut exec);
         assert_eq!(dx.shape().dims(), &[4, 3]);

@@ -61,6 +61,8 @@ impl LrSchedule {
 }
 
 #[cfg(test)]
+// Tests assert exact float values: bit-identical replay is the property under test.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -359,7 +359,8 @@ fn train_step_data_parallel(
     let mut offset = 0usize;
     net.visit_params(&mut |_, g| {
         let len = g.len();
-        g.as_mut_slice().copy_from_slice(&combined[offset..offset + len]);
+        g.as_mut_slice()
+            .copy_from_slice(&combined[offset..offset + len]);
         offset += len;
     });
     (loss_sum / shards.max(1) as f64) as f32
@@ -413,12 +414,7 @@ pub fn accuracy(preds: &[u32], data: &Dataset) -> f64 {
             if labels.is_empty() {
                 return 0.0;
             }
-            preds
-                .iter()
-                .zip(labels)
-                .filter(|(p, l)| p == l)
-                .count() as f64
-                / labels.len() as f64
+            preds.iter().zip(labels).filter(|(p, l)| p == l).count() as f64 / labels.len() as f64
         }
         Targets::Binary(_) => panic!("accuracy() expects class targets"),
     }
@@ -545,6 +541,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "sample count mismatch")]
     fn dataset_validates_lengths() {
-        Dataset::new(Tensor::zeros(Shape::of(&[3, 2])), Targets::Classes(vec![0, 1]));
+        Dataset::new(
+            Tensor::zeros(Shape::of(&[3, 2])),
+            Targets::Classes(vec![0, 1]),
+        );
     }
 }

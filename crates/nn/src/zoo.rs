@@ -32,7 +32,13 @@ use nstensor::ConvGeometry;
 /// # Panics
 ///
 /// Panics if `input_hw` is not divisible by 4.
-pub fn small_cnn(input_hw: usize, in_c: usize, classes: usize, with_bn: bool, root: &Philox) -> Network {
+pub fn small_cnn(
+    input_hw: usize,
+    in_c: usize,
+    classes: usize,
+    with_bn: bool,
+    root: &Philox,
+) -> Network {
     assert_eq!(input_hw % 4, 0, "input size must be divisible by 4");
     let mut rng = root.stream(StreamId::INIT.child(0));
     let mut net = Network::new();
@@ -81,7 +87,11 @@ pub fn small_cnn_dropout(
     net.push(MaxPool2d::new(2));
     net.push(Flatten::new());
     net.push(Dropout::new(rate, 0));
-    net.push(Dense::new(16 * (input_hw / 4) * (input_hw / 4), 32, &mut rng));
+    net.push(Dense::new(
+        16 * (input_hw / 4) * (input_hw / 4),
+        32,
+        &mut rng,
+    ));
     net.push(Relu::new());
     net.push(Dense::new(32, classes, &mut rng));
     net
@@ -158,8 +168,12 @@ pub fn micro_resnet_bottleneck(
     net.push(Conv2d::new(stem, &mut rng));
     net.push(BatchNorm2d::new(8, &mut rng));
     net.push(Relu::new());
-    net.push(BottleneckBlock::new(8, 4, 16, 1, input_hw, input_hw, &mut rng));
-    net.push(BottleneckBlock::new(16, 8, 32, 2, input_hw, input_hw, &mut rng));
+    net.push(BottleneckBlock::new(
+        8, 4, 16, 1, input_hw, input_hw, &mut rng,
+    ));
+    net.push(BottleneckBlock::new(
+        16, 8, 32, 2, input_hw, input_hw, &mut rng,
+    ));
     let hw2 = input_hw / 2;
     net.push(BottleneckBlock::new(32, 16, 64, 2, hw2, hw2, &mut rng));
     net.push(GlobalAvgPool::new());
@@ -238,7 +252,10 @@ mod tests {
     fn forward_shape(net: &mut Network, in_c: usize, hw: usize, root: &Philox) -> Vec<usize> {
         let mut exec = ExecutionContext::new(Device::cpu(), ExecutionMode::Default, 0);
         let x = Tensor::zeros(Shape::of(&[2, in_c, hw, hw]));
-        net.forward(x, &mut exec, root, 0, false).shape().dims().to_vec()
+        net.forward(x, &mut exec, root, 0, false)
+            .shape()
+            .dims()
+            .to_vec()
     }
 
     #[test]
@@ -254,7 +271,10 @@ mod tests {
         let root = Philox::from_seed(1);
         let net = small_cnn(12, 3, 10, true, &root);
         assert_eq!(
-            net.layer_kinds().iter().filter(|k| **k == "batchnorm2d").count(),
+            net.layer_kinds()
+                .iter()
+                .filter(|k| **k == "batchnorm2d")
+                .count(),
             3
         );
     }

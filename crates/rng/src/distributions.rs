@@ -144,11 +144,8 @@ mod tests {
         let mut buf = vec![0.0f32; 100_000];
         n.fill(&mut r, &mut buf);
         let mean: f64 = buf.iter().map(|&x| x as f64).sum::<f64>() / buf.len() as f64;
-        let var: f64 = buf
-            .iter()
-            .map(|&x| (x as f64 - mean).powi(2))
-            .sum::<f64>()
-            / buf.len() as f64;
+        let var: f64 =
+            buf.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / buf.len() as f64;
         assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
         assert!((var - 4.0).abs() < 0.2, "var {var}");
     }

@@ -70,8 +70,7 @@ impl StreamId {
         (self.purpose as u64)
             | ((self.path[0] as u64) << 16)
             | ((self.path[1] as u64) << 32)
-            | ((self.path[2] as u64) << 48)
-            ^ ((self.depth as u64) << 61)
+            | ((self.path[2] as u64) << 48) ^ ((self.depth as u64) << 61)
     }
 }
 
@@ -222,8 +221,7 @@ mod tests {
         let n = 200_000;
         let xs: Vec<f32> = (0..n).map(|_| s.normal()).collect();
         let mean: f64 = xs.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
-        let var: f64 =
-            xs.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        let var: f64 = xs.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "var {var}");
     }

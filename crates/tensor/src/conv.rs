@@ -295,7 +295,7 @@ pub fn conv2d_backward(
                 for o in 0..oc {
                     lane[o % lc] += dyrow[o] * wv[o * pl + j];
                 }
-                dcol[p * pl + j] = lane[..lc].iter().sum();
+                dcol[p * pl + j] = crate::reduce::sum_ordered_f32(lane[..lc].iter().copied());
             }
         }
         col2im(&dcol, geom, &mut dxv[s * sample..(s + 1) * sample]);
@@ -448,8 +448,7 @@ mod tests {
         let y = conv2d_forward(&x, &w, &b, &g, &mut Reducer::sequential()).unwrap();
         let mut dy = y.clone();
         dy.scale(2.0);
-        let grads =
-            conv2d_backward(&x, &w, &dy, &g, &mut Reducer::sequential()).unwrap();
+        let grads = conv2d_backward(&x, &w, &dy, &g, &mut Reducer::sequential()).unwrap();
 
         let loss = |x: &Tensor, w: &Tensor, b: &Tensor| -> f64 {
             let y = conv2d_forward(x, w, b, &g, &mut Reducer::sequential()).unwrap();

@@ -57,8 +57,10 @@ pub mod tensor;
 
 pub use conv::{conv2d_backward, conv2d_forward, Conv2dGrads, ConvGeometry};
 pub use error::ShapeError;
-pub use linalg::{matmul, matmul_at_b, matmul_a_bt};
-pub use pool::{global_avg_pool_backward, global_avg_pool_forward, maxpool2d_backward, maxpool2d_forward};
+pub use linalg::{matmul, matmul_a_bt, matmul_at_b};
+pub use pool::{
+    global_avg_pool_backward, global_avg_pool_forward, maxpool2d_backward, maxpool2d_forward,
+};
 pub use reduce::{ReduceOrder, Reducer, MAX_LANES};
 pub use shape::Shape;
 pub use tensor::Tensor;

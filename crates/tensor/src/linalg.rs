@@ -108,7 +108,11 @@ fn check_rank2(op: &'static str, a: &Tensor, b: &Tensor) -> Result<(), ShapeErro
     if a.shape().rank() != 2 || b.shape().rank() != 2 {
         return Err(ShapeError::new(
             op,
-            format!("expected rank-2 operands, got {} and {}", a.shape(), b.shape()),
+            format!(
+                "expected rank-2 operands, got {} and {}",
+                a.shape(),
+                b.shape()
+            ),
         ));
     }
     Ok(())
@@ -186,8 +190,16 @@ mod tests {
     #[test]
     fn permuted_order_stays_close_to_reference() {
         let n = 24;
-        let a = t(n, n, (0..n * n).map(|i| ((i % 13) as f32 - 6.0) * 0.1).collect());
-        let b = t(n, n, (0..n * n).map(|i| ((i % 7) as f32 - 3.0) * 0.2).collect());
+        let a = t(
+            n,
+            n,
+            (0..n * n).map(|i| ((i % 13) as f32 - 6.0) * 0.1).collect(),
+        );
+        let b = t(
+            n,
+            n,
+            (0..n * n).map(|i| ((i % 7) as f32 - 3.0) * 0.2).collect(),
+        );
         let reference = matmul(&a, &b, &mut Reducer::sequential()).unwrap();
         let mut red = Reducer::new(ReduceOrder::Permuted, 32, 77);
         let c = matmul(&a, &b, &mut red).unwrap();

@@ -41,7 +41,11 @@ pub fn relu_backward(dy: &mut Tensor, mask: &[f32]) {
 /// Returns [`ShapeError`] on mismatch.
 pub fn add_row_bias(x: &mut Tensor, bias: &Tensor) -> Result<(), ShapeError> {
     if x.shape().rank() != 2 || bias.shape() != Shape::of(&[x.shape().dim(1)]) {
-        return Err(ShapeError::mismatch("add_row_bias", &x.shape(), &bias.shape()));
+        return Err(ShapeError::mismatch(
+            "add_row_bias",
+            &x.shape(),
+            &bias.shape(),
+        ));
     }
     let c = x.shape().dim(1);
     let bv = bias.as_slice().to_vec();
@@ -167,8 +171,8 @@ mod tests {
 
     #[test]
     fn sum_rows_reference() {
-        let x = Tensor::from_vec(Shape::of(&[3, 2]), vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0])
-            .unwrap();
+        let x =
+            Tensor::from_vec(Shape::of(&[3, 2]), vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0]).unwrap();
         let s = sum_rows(&x, &mut Reducer::sequential()).unwrap();
         assert_eq!(s.as_slice(), &[6.0, 60.0]);
     }
@@ -190,9 +194,11 @@ mod tests {
 
     #[test]
     fn softmax_rows_are_distributions() {
-        let mut x =
-            Tensor::from_vec(Shape::of(&[2, 3]), vec![1.0, 2.0, 3.0, 1000.0, 1000.0, 1000.0])
-                .unwrap();
+        let mut x = Tensor::from_vec(
+            Shape::of(&[2, 3]),
+            vec![1.0, 2.0, 3.0, 1000.0, 1000.0, 1000.0],
+        )
+        .unwrap();
         softmax_rows(&mut x).unwrap();
         for row in x.as_slice().chunks(3) {
             let s: f32 = row.iter().sum();

@@ -186,11 +186,7 @@ mod tests {
 
     #[test]
     fn maxpool_backward_routes_to_argmax() {
-        let x = Tensor::from_vec(
-            Shape::of(&[1, 1, 2, 2]),
-            vec![1.0, 9.0, 3.0, 4.0],
-        )
-        .unwrap();
+        let x = Tensor::from_vec(Shape::of(&[1, 1, 2, 2]), vec![1.0, 9.0, 3.0, 4.0]).unwrap();
         let (_, arg) = maxpool2d_forward(&x, 2).unwrap();
         let dy = Tensor::from_vec(Shape::of(&[1, 1, 1, 1]), vec![5.0]).unwrap();
         let dx = maxpool2d_backward(x.shape(), 2, &dy, &arg).unwrap();
@@ -225,11 +221,7 @@ mod tests {
     #[test]
     fn gap_gradient_check() {
         // L = Σ gap(x)², dL/dx must match finite differences.
-        let x = Tensor::from_vec(
-            Shape::of(&[1, 1, 2, 2]),
-            vec![1.0, -2.0, 0.5, 3.0],
-        )
-        .unwrap();
+        let x = Tensor::from_vec(Shape::of(&[1, 1, 2, 2]), vec![1.0, -2.0, 0.5, 3.0]).unwrap();
         let loss = |x: &Tensor| -> f64 {
             let y = global_avg_pool_forward(x, &mut Reducer::sequential()).unwrap();
             y.as_slice().iter().map(|&v| (v as f64).powi(2)).sum()

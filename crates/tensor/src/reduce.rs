@@ -265,7 +265,47 @@ impl Reducer {
     }
 }
 
+/// Fixed-order (left-to-right) `f64` summation for aggregation and
+/// reporting paths.
+///
+/// Bit-identical to `Iterator::sum::<f64>()` over the same sequence; the
+/// point of routing through this function is that the evaluation order is
+/// explicit and lives in the one module audited for it. detlint rule DL004
+/// flags ad-hoc float reductions and exempts this module, so every float
+/// sum in the workspace is either a simulated-device [`Reducer`] call or
+/// one of these ordered helpers.
+pub fn sum_ordered_f64(xs: impl IntoIterator<Item = f64>) -> f64 {
+    xs.into_iter().fold(0.0, |acc, x| acc + x)
+}
+
+/// Fixed-order (left-to-right) `f32` summation. See [`sum_ordered_f64`].
+pub fn sum_ordered_f32(xs: impl IntoIterator<Item = f32>) -> f32 {
+    xs.into_iter().fold(0.0, |acc, x| acc + x)
+}
+
+/// Neumaier-compensated fixed-order `f64` summation.
+///
+/// Still order-fixed and deterministic, but with an error bound independent
+/// of length — use it when aggregating across many replicas where naive
+/// accumulation error would rival the run-to-run deviations being measured.
+pub fn sum_compensated_f64(xs: impl IntoIterator<Item = f64>) -> f64 {
+    let mut sum = 0.0f64;
+    let mut comp = 0.0f64;
+    for x in xs {
+        let t = sum + x;
+        comp += if sum.abs() >= x.abs() {
+            (sum - t) + x
+        } else {
+            (x - t) + sum
+        };
+        sum = t;
+    }
+    sum + comp
+}
+
 #[cfg(test)]
+// Tests assert exact float values: bit-identical replay is the property under test.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 
@@ -325,7 +365,11 @@ mod tests {
     fn all_orders_agree_to_f32_tolerance() {
         let xs = data(2000);
         let exact: f64 = xs.iter().map(|&x| x as f64).sum();
-        for order in [ReduceOrder::Sequential, ReduceOrder::FixedTree, ReduceOrder::Permuted] {
+        for order in [
+            ReduceOrder::Sequential,
+            ReduceOrder::FixedTree,
+            ReduceOrder::Permuted,
+        ] {
             let mut r = Reducer::new(order, 32, 3);
             let s = r.sum(&xs) as f64;
             assert!((s - exact).abs() < 1e-3, "{order:?} error {}", s - exact);
@@ -337,7 +381,11 @@ mod tests {
         let a = data(512);
         let b: Vec<f32> = data(512).iter().map(|x| x * 0.5 + 0.1).collect();
         let exact: f64 = a.iter().zip(&b).map(|(&x, &y)| x as f64 * y as f64).sum();
-        for order in [ReduceOrder::Sequential, ReduceOrder::FixedTree, ReduceOrder::Permuted] {
+        for order in [
+            ReduceOrder::Sequential,
+            ReduceOrder::FixedTree,
+            ReduceOrder::Permuted,
+        ] {
             let mut r = Reducer::new(order, 32, 3);
             let d = r.dot(&a, &b) as f64;
             assert!((d - exact).abs() < 1e-3, "{order:?} error {}", d - exact);
@@ -363,7 +411,11 @@ mod tests {
 
     #[test]
     fn empty_inputs_sum_to_zero() {
-        for order in [ReduceOrder::Sequential, ReduceOrder::FixedTree, ReduceOrder::Permuted] {
+        for order in [
+            ReduceOrder::Sequential,
+            ReduceOrder::FixedTree,
+            ReduceOrder::Permuted,
+        ] {
             let mut r = Reducer::new(order, 32, 1);
             assert_eq!(r.sum(&[]), 0.0);
             assert_eq!(r.dot(&[], &[]), 0.0);
@@ -410,5 +462,27 @@ mod tests {
         assert!(ReduceOrder::Sequential.is_deterministic());
         assert!(ReduceOrder::FixedTree.is_deterministic());
         assert!(!ReduceOrder::Permuted.is_deterministic());
+    }
+
+    #[test]
+    fn ordered_sums_are_bit_identical_to_iter_sum() {
+        let xs: Vec<f64> = data(1000).iter().map(|&x| x as f64).collect();
+        assert_eq!(
+            sum_ordered_f64(xs.iter().copied()).to_bits(),
+            xs.iter().sum::<f64>().to_bits()
+        );
+        let ys = data(1000);
+        assert_eq!(
+            sum_ordered_f32(ys.iter().copied()).to_bits(),
+            ys.iter().sum::<f32>().to_bits()
+        );
+    }
+
+    #[test]
+    fn compensated_sum_survives_cancellation() {
+        let xs = [1e16, 1.0, -1e16];
+        assert_eq!(sum_compensated_f64(xs.iter().copied()), 1.0);
+        // Naive order loses the 1.0 entirely.
+        assert_eq!(sum_ordered_f64(xs.iter().copied()), 0.0);
     }
 }

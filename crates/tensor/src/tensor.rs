@@ -148,7 +148,11 @@ impl Tensor {
     /// Returns [`ShapeError`] on shape mismatch.
     pub fn add_assign(&mut self, other: &Tensor) -> Result<(), ShapeError> {
         if self.shape != other.shape {
-            return Err(ShapeError::mismatch("add_assign", &self.shape, &other.shape));
+            return Err(ShapeError::mismatch(
+                "add_assign",
+                &self.shape,
+                &other.shape,
+            ));
         }
         for (a, b) in self.data.iter_mut().zip(&other.data) {
             *a += b;
@@ -166,15 +170,13 @@ impl Tensor {
     /// The Euclidean norm of the flattened tensor (accumulated in f64 for
     /// metric stability; this is *measurement*, not simulated computation).
     pub fn norm(&self) -> f64 {
-        self.data
-            .iter()
-            .map(|&x| (x as f64) * (x as f64))
-            .sum::<f64>()
-            .sqrt()
+        crate::reduce::sum_ordered_f64(self.data.iter().map(|&x| (x as f64) * (x as f64))).sqrt()
     }
 }
 
 #[cfg(test)]
+// Tests assert exact float values: bit-identical replay is the property under test.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

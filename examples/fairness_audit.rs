@@ -29,7 +29,10 @@ fn main() {
         100.0 * counts.female_pos as f64 / (counts.female_pos + counts.female_neg) as f64,
     );
 
-    println!("Training {} replicas per noise variant on V100...\n", settings.replicas);
+    println!(
+        "Training {} replicas per noise variant on V100...\n",
+        settings.replicas
+    );
     let tables = fairness::fig3_table5(&settings);
     println!("{}", fairness::render_table5(&tables));
 

@@ -10,16 +10,19 @@
 //! cargo run --release -p ns-examples --bin hardware_noise
 //! ```
 
-use ns_examples::{demo_settings, demo_task};
 use noisescope::experiments::ordering;
 use noisescope::prelude::*;
+use ns_examples::{demo_settings, demo_task};
 
 fn main() {
     let task = demo_task();
     let settings = demo_settings();
     let prepared = PreparedTask::prepare(&task);
 
-    println!("IMPL-only noise (fixed algorithmic seed), task '{}':\n", task.name);
+    println!(
+        "IMPL-only noise (fixed algorithmic seed), task '{}':\n",
+        task.name
+    );
     println!(
         "{:<12} {:>6} {:>10} {:>10} {:>10}",
         "device", "lanes", "churn", "l2", "acc"

@@ -10,8 +10,8 @@
 //! cargo run --release -p ns-examples --bin quickstart
 //! ```
 
-use ns_examples::{demo_settings, demo_task};
 use noisescope::prelude::*;
+use ns_examples::{demo_settings, demo_task};
 
 fn main() {
     let task = demo_task();

@@ -13,8 +13,8 @@
 //! cargo run --release -p ns-examples --bin replay_debugging
 //! ```
 
-use ns_examples::{demo_settings, demo_task};
 use noisescope::prelude::*;
+use ns_examples::{demo_settings, demo_task};
 
 fn main() {
     let task = demo_task();
@@ -25,18 +25,31 @@ fn main() {
     let device = Device::v100();
     let prepared = PreparedTask::prepare(&task);
 
-    println!("Fleet of {} IMPL-noise replicas (same seed, pinned entropy):", settings.replicas);
+    println!(
+        "Fleet of {} IMPL-noise replicas (same seed, pinned entropy):",
+        settings.replicas
+    );
     let runs = run_variant(&prepared, &device, NoiseVariant::Impl, &settings);
     let mut worst = 0usize;
     for (i, r) in runs.results.iter().enumerate() {
-        println!("  replica {i}: acc {:.2}%  (entropy {:#018x})", 100.0 * r.accuracy, settings.entropy_for(i as u32));
+        println!(
+            "  replica {i}: acc {:.2}%  (entropy {:#018x})",
+            100.0 * r.accuracy,
+            settings.entropy_for(i as u32)
+        );
         if r.accuracy < runs.results[worst].accuracy {
             worst = i;
         }
     }
 
     println!("\nReplaying the worst replica ({worst}) from its recorded entropy...");
-    let replayed = run_replica(&prepared, &device, NoiseVariant::Impl, &settings, worst as u32);
+    let replayed = run_replica(
+        &prepared,
+        &device,
+        NoiseVariant::Impl,
+        &settings,
+        worst as u32,
+    );
     let identical = replayed.weights == runs.results[worst].weights
         && replayed.preds == runs.results[worst].preds;
     println!(
@@ -45,7 +58,13 @@ fn main() {
     );
 
     println!("\nCounterfactual: the same seed under deterministic execution:");
-    let control = run_replica(&prepared, &device, NoiseVariant::Control, &settings, worst as u32);
+    let control = run_replica(
+        &prepared,
+        &device,
+        NoiseVariant::Control,
+        &settings,
+        worst as u32,
+    );
     println!(
         "  deterministic acc {:.2}% vs noisy replica's {:.2}% — the gap is pure \
          implementation noise.",

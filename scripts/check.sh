@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The full local CI gate — the same steps .github/workflows/ci.yml runs.
+# Run from anywhere inside the repository.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --workspace --release
+run cargo test -q --workspace
+run cargo clippy --workspace --all-targets -- -D warnings
+run cargo fmt --check
+run cargo run --release -p detlint
+
+echo "All checks passed."

@@ -86,13 +86,16 @@ fn fig7_profile_has_paper_properties() {
     // Deterministic mode is slower overall...
     assert!(fig.deterministic_profile.total_time_s() > fig.default_profile.total_time_s());
     // ...schedules a narrower kernel set...
-    assert!(
-        fig.deterministic_profile.distinct_kernels() < fig.default_profile.distinct_kernels()
-    );
+    assert!(fig.deterministic_profile.distinct_kernels() < fig.default_profile.distinct_kernels());
     // ...and its invocation counts scale with the profiled steps.
     let top = &fig.default_profile.top_k(1)[0];
     assert_eq!(top.invocations % 100, 0);
     // Top-20 cumulative time must dominate the profile (skewed allocation).
-    let top20: f64 = fig.default_profile.top_k(20).iter().map(|r| r.total_time_s).sum();
+    let top20: f64 = fig
+        .default_profile
+        .top_k(20)
+        .iter()
+        .map(|r| r.total_time_s)
+        .sum();
     assert!(top20 / fig.default_profile.total_time_s() > 0.5);
 }

@@ -3,8 +3,11 @@
 //! implementation noise, and deterministic execution must be a pure
 //! function of the algorithmic seed.
 
-use ns_integration::{tiny_resnet_task, tiny_settings, tiny_task};
+// Exact float assertions are deliberate: bit-identical replay is what these tests check.
+#![allow(clippy::float_cmp)]
+
 use noisescope::prelude::*;
+use ns_integration::{tiny_resnet_task, tiny_settings, tiny_task};
 
 #[test]
 fn control_variant_bitwise_identical_on_every_device() {
@@ -21,12 +24,14 @@ fn control_variant_bitwise_identical_on_every_device() {
     ] {
         let runs = run_variant(&prepared, &device, NoiseVariant::Control, &settings);
         assert_eq!(
-            runs.results[0].weights, runs.results[1].weights,
+            runs.results[0].weights,
+            runs.results[1].weights,
             "control weights differ on {}",
             device.name()
         );
         assert_eq!(
-            runs.results[0].preds, runs.results[1].preds,
+            runs.results[0].preds,
+            runs.results[1].preds,
             "control predictions differ on {}",
             device.name()
         );
@@ -48,7 +53,10 @@ fn tpu_impl_noise_is_exactly_zero() {
     let runs = run_variant(&prepared, &Device::tpu_v2(), NoiseVariant::Impl, &settings);
     let report = stability_report(&prepared, &Device::tpu_v2(), NoiseVariant::Impl, &runs);
     assert_eq!(report.churn, 0.0, "TPU must not contribute IMPL churn");
-    assert_eq!(report.l2, 0.0, "TPU must not contribute IMPL weight divergence");
+    assert_eq!(
+        report.l2, 0.0,
+        "TPU must not contribute IMPL weight divergence"
+    );
 }
 
 #[test]
@@ -91,7 +99,19 @@ fn replaying_a_pinned_nondeterministic_schedule_reproduces_the_run() {
     // the property that makes fleet results attributable.
     let prepared = PreparedTask::prepare(&tiny_task());
     let settings = tiny_settings();
-    let a = run_replica(&prepared, &Device::v100(), NoiseVariant::AlgoImpl, &settings, 1);
-    let b = run_replica(&prepared, &Device::v100(), NoiseVariant::AlgoImpl, &settings, 1);
+    let a = run_replica(
+        &prepared,
+        &Device::v100(),
+        NoiseVariant::AlgoImpl,
+        &settings,
+        1,
+    );
+    let b = run_replica(
+        &prepared,
+        &Device::v100(),
+        NoiseVariant::AlgoImpl,
+        &settings,
+        1,
+    );
     assert_eq!(a.weights, b.weights);
 }

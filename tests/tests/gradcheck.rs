@@ -64,7 +64,7 @@ fn whole_network_parameter_gradients_match_finite_differences() {
     for frac in [0.01f64, 0.23, 0.47, 0.71, 0.93] {
         let target = ((n_params as f64) * frac) as usize;
         let analytic = read_grad(&mut net, target) as f64;
-        let mut loss_at = |delta: f32, net: &mut Network| -> f64 {
+        let loss_at = |delta: f32, net: &mut Network| -> f64 {
             nudge_param(net, target, delta);
             let mut e = exec();
             let logits = net.forward(x.clone(), &mut e, &root, 0, false);

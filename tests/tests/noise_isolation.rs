@@ -1,8 +1,8 @@
 //! The ALGO/IMPL decomposition: each noise family must be isolatable, and
 //! the isolation must behave like the paper's variant matrix.
 
-use ns_integration::{tiny_settings, tiny_task};
 use noisescope::prelude::*;
+use ns_integration::{tiny_settings, tiny_task};
 
 #[test]
 fn impl_noise_diverges_weights_on_every_nondeterministic_gpu() {
@@ -16,7 +16,8 @@ fn impl_noise_diverges_weights_on_every_nondeterministic_gpu() {
     ] {
         let runs = run_variant(&prepared, &device, NoiseVariant::Impl, &settings);
         assert_ne!(
-            runs.results[0].weights, runs.results[1].weights,
+            runs.results[0].weights,
+            runs.results[1].weights,
             "IMPL replicas identical on {} — accumulation-order noise missing",
             device.name()
         );
@@ -92,7 +93,12 @@ fn stability_reports_are_internally_consistent() {
         replicas: 3,
         ..tiny_settings()
     };
-    let runs = run_variant(&prepared, &Device::v100(), NoiseVariant::AlgoImpl, &settings);
+    let runs = run_variant(
+        &prepared,
+        &Device::v100(),
+        NoiseVariant::AlgoImpl,
+        &settings,
+    );
     let r = stability_report(&prepared, &Device::v100(), NoiseVariant::AlgoImpl, &runs);
     assert_eq!(r.replicas, 3);
     assert!((0.0..=1.0).contains(&r.mean_accuracy));

@@ -84,7 +84,10 @@ fn table3_proportions_track_the_paper() {
     let total = c.total() as f64;
     // Male ≈ 42 % of the population; positives rare among males.
     let male_frac = (c.male_pos + c.male_neg) as f64 / total;
-    assert!((0.36..0.48).contains(&male_frac), "male fraction {male_frac}");
+    assert!(
+        (0.36..0.48).contains(&male_frac),
+        "male fraction {male_frac}"
+    );
     let male_rate = c.male_pos as f64 / (c.male_pos + c.male_neg) as f64;
     let female_rate = c.female_pos as f64 / (c.female_pos + c.female_neg) as f64;
     assert!(male_rate < 0.07, "male positive rate {male_rate}");

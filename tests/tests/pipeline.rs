@@ -5,9 +5,9 @@ use detrand::Philox;
 use hwsim::{Device, ExecutionContext, ExecutionMode};
 use nnet::trainer::{predict_classes, Targets, Trainer};
 use nnet::zoo;
-use nsdata::{GaussianSpec, ShiftFlip};
 use noisescope::prelude::*;
 use ns_integration::{tiny_settings, tiny_task};
+use nsdata::{GaussianSpec, ShiftFlip};
 
 #[test]
 fn model_actually_learns_the_generated_task() {
@@ -26,8 +26,10 @@ fn model_actually_learns_the_generated_task() {
     let algo = Philox::from_seed(5);
     let mut net = zoo::micro_resnet18(8, 3, 4, &algo);
     let mut exec = ExecutionContext::new(Device::v100(), ExecutionMode::Default, 1);
-    let mut cfg = nnet::trainer::TrainConfig::default();
-    cfg.epochs = 8;
+    let cfg = nnet::trainer::TrainConfig {
+        epochs: 8,
+        ..Default::default()
+    };
     Trainer::new(cfg).fit(&mut net, &ds.train, &mut exec, &algo, None);
     let preds = predict_classes(&mut net, &ds.test, &mut exec, &algo, 32);
     let labels = ds.test_labels();
@@ -75,8 +77,10 @@ fn dropout_task_trains_and_is_a_noise_source() {
         // here the whole root varies → dropout + init both vary.
         let mut net = zoo::small_cnn_dropout(8, 3, 4, 0.3, &algo);
         let mut exec = ExecutionContext::new(Device::tpu_v2(), ExecutionMode::Default, 0);
-        let mut cfg = nnet::trainer::TrainConfig::default();
-        cfg.epochs = 2;
+        let cfg = nnet::trainer::TrainConfig {
+            epochs: 2,
+            ..Default::default()
+        };
         Trainer::new(cfg).fit(&mut net, &ds.train, &mut exec, &algo, None);
         net.flat_weights()
     };
@@ -93,13 +97,14 @@ fn per_class_variance_exceeds_topline_variance() {
         replicas: 4,
         ..tiny_settings()
     };
-    let runs = run_variant(&prepared, &Device::v100(), NoiseVariant::AlgoImpl, &settings);
+    let runs = run_variant(
+        &prepared,
+        &Device::v100(),
+        NoiseVariant::AlgoImpl,
+        &settings,
+    );
     let report = stability_report(&prepared, &Device::v100(), NoiseVariant::AlgoImpl, &runs);
-    let max_class = report
-        .per_class_std
-        .iter()
-        .cloned()
-        .fold(0.0f64, f64::max);
+    let max_class = report.per_class_std.iter().cloned().fold(0.0f64, f64::max);
     assert!(
         max_class >= report.std_accuracy,
         "per-class stddev {max_class} below top-line {}",

@@ -1,6 +1,9 @@
 //! Cross-crate property tests on the invariants the reproduction's claims
 //! rest on.
 
+// Exact float assertions are deliberate: bit-identical replay is what these tests check.
+#![allow(clippy::float_cmp)]
+
 use detrand::Philox;
 use hwsim::{Device, ExecutionContext, ExecutionMode, OpClass};
 use proptest::prelude::*;

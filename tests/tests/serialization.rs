@@ -2,6 +2,9 @@
 //! writes to `results/` must survive JSON round-tripping (downstream
 //! plotting/analysis consumes these files).
 
+// Exact float assertions are deliberate: bit-identical replay is what these tests check.
+#![allow(clippy::float_cmp)]
+
 use noisescope::experiments::cost::OverheadPoint;
 use noisescope::experiments::ordering::OrderingPoint;
 use noisescope::prelude::*;

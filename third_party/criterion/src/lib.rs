@@ -1,0 +1,215 @@
+//! Offline stand-in for the `criterion` crate (see `third_party/README.md`).
+//!
+//! A minimal wall-clock harness with criterion 0.5's call shapes: warm up
+//! briefly, time a fixed batch of iterations, print mean ns/iter. No
+//! statistics, no plots, no `target/criterion` reports — just enough to
+//! keep `cargo bench` meaningful offline.
+
+use std::time::{Duration, Instant};
+
+/// Measures one benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    iters_hint: u64,
+    last_ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `f` and records mean nanoseconds per iteration.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up: run until ~20ms has elapsed to fault in caches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < Duration::from_millis(20) && warm_iters < self.iters_hint {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        // Measure: a fixed batch sized by the group's sample hint.
+        let n = self.iters_hint.max(1);
+        let start = Instant::now();
+        for _ in 0..n {
+            std::hint::black_box(f());
+        }
+        let elapsed = start.elapsed();
+        self.last_ns_per_iter = elapsed.as_nanos() as f64 / n as f64;
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id, like `BenchmarkId::new("function", "param")`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id from just a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Throughput annotation (recorded, echoed in output).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the per-benchmark iteration batch size.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Annotates throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    fn run(&mut self, id: BenchmarkId, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            iters_hint: self.sample_size,
+            last_ns_per_iter: 0.0,
+        };
+        f(&mut b);
+        let mut line = format!(
+            "{}/{}: {:.1} ns/iter",
+            self.name, id.label, b.last_ns_per_iter
+        );
+        if let Some(Throughput::Elements(n)) = self.throughput {
+            if b.last_ns_per_iter > 0.0 {
+                line.push_str(&format!(
+                    " ({:.1} Melem/s)",
+                    n as f64 / b.last_ns_per_iter * 1e3
+                ));
+            }
+        }
+        println!("{line}");
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnOnce(&mut Bencher)) {
+        self.run(id.into(), f);
+    }
+
+    /// Benchmarks `f` with an input value.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) {
+        self.run(id.into(), |b| f(b, input));
+    }
+
+    /// Ends the group (no-op; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 50,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnOnce(&mut Bencher)) {
+        self.benchmark_group("bench").run(id.into(), f);
+    }
+}
+
+/// Prevents the optimizer from discarding a value, like `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_body_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).throughput(Throughput::Elements(4));
+        let mut calls = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            });
+        });
+        group.finish();
+        assert!(calls >= 10, "body ran {calls} times");
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", "p").label, "f/p");
+        assert_eq!(BenchmarkId::from_parameter(42).label, "42");
+    }
+}

@@ -1,0 +1,77 @@
+//! Offline stand-in for the `crossbeam` crate (see `third_party/README.md`).
+//!
+//! Provides `crossbeam::thread::scope` with the crossbeam 0.8 call shape
+//! (`scope(|s| { s.spawn(|_| ...); }).expect(...)`), implemented on top of
+//! `std::thread::scope`.
+
+/// Scoped-thread utilities.
+pub mod thread {
+    /// A scope handle passed to [`scope`] closures and to each spawned
+    /// thread's closure (crossbeam passes the scope back into spawned
+    /// closures so they can spawn siblings).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives the
+        /// scope itself, mirroring crossbeam's `|_| ...` signature.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let wrapper = Scope { inner: self.inner };
+            self.inner.spawn(move || f(&wrapper))
+        }
+    }
+
+    /// Runs `f` with a scope in which threads borrowing local state can be
+    /// spawned; all are joined before `scope` returns.
+    ///
+    /// Unlike crossbeam, panics in spawned threads propagate out of
+    /// `std::thread::scope` directly rather than being returned as `Err`,
+    /// so the `Result` here is always `Ok` — callers that `.expect()` the
+    /// result observe the same panic either way.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| {
+            let wrapper = Scope { inner: s };
+            f(&wrapper)
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_collects() {
+        let data = [1u64, 2, 3, 4];
+        let total = std::sync::atomic::AtomicU64::new(0);
+        super::thread::scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    let sum: u64 = chunk.iter().sum();
+                    total.fetch_add(sum, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(total.into_inner(), 10);
+    }
+
+    #[test]
+    fn nested_spawn_via_passed_scope() {
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        super::thread::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| flag.store(true, std::sync::atomic::Ordering::Relaxed));
+            });
+        })
+        .unwrap();
+        assert!(flag.into_inner());
+    }
+}

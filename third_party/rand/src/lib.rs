@@ -1,0 +1,64 @@
+//! Offline stand-in for the `rand` crate (see `third_party/README.md`).
+//!
+//! Provides exactly the surface the workspace uses: [`random`], drawing
+//! fresh OS entropy per call. This crate is the *only* sanctioned door to
+//! ambient entropy — everything else must go through
+//! `detrand::EntropySource` (enforced by `detlint` rule DL002).
+
+use std::collections::hash_map::RandomState;
+use std::hash::{BuildHasher, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static CALL_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn os_entropy_u64() -> u64 {
+    // /dev/urandom is the real source; the hasher path is a fallback that
+    // still mixes process-level randomness (RandomState keys are seeded
+    // from OS entropy at first use) with a per-call counter.
+    use std::io::Read;
+    if let Ok(mut f) = std::fs::File::open("/dev/urandom") {
+        let mut buf = [0u8; 8];
+        if f.read_exact(&mut buf).is_ok() {
+            return u64::from_le_bytes(buf);
+        }
+    }
+    let mut h = RandomState::new().build_hasher();
+    h.write_u64(CALL_COUNTER.fetch_add(1, Ordering::Relaxed));
+    h.finish()
+}
+
+/// Types that can be produced by [`random`].
+pub trait Standard: Sized {
+    /// Draws one value from OS entropy.
+    fn draw() -> Self;
+}
+
+impl Standard for u64 {
+    fn draw() -> Self {
+        os_entropy_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn draw() -> Self {
+        os_entropy_u64() as u32
+    }
+}
+
+/// Returns a fresh random value from OS entropy, like `rand::random`.
+pub fn random<T: Standard>() -> T {
+    T::draw()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_differ() {
+        let a: u64 = random();
+        let b: u64 = random();
+        let c: u64 = random();
+        assert!(a != b || b != c, "three identical 64-bit draws");
+    }
+}

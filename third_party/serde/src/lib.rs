@@ -1,0 +1,410 @@
+//! Offline stand-in for the `serde` crate (see `third_party/README.md`).
+//!
+//! Uses a simplified data model: serializing produces an owned
+//! [`Value`] tree, deserializing consumes a `&Value`. The derive macros in
+//! `serde_derive` generate impls of these traits with serde's *default
+//! encodings* (structs → objects; unit variants → strings; newtype/tuple/
+//! struct variants → single-key objects), so JSON written by this stand-in
+//! is interchangeable with real serde_json output for the shapes this
+//! workspace uses.
+//!
+//! Object keys live in a `BTreeMap`: every serialization of the same data
+//! is byte-identical, which this repository treats as a feature (results
+//! files must be stable across runs — see `detlint` rule DL001).
+
+mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Number, Value};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Error produced when a [`Value`] cannot be interpreted as the requested
+/// type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Creates an error with a free-form message.
+    pub fn msg(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+
+    /// Creates a "expected X while deserializing Y" error.
+    pub fn expected(what: &str, ty: &str) -> Self {
+        DeError {
+            msg: format!("expected {what} while deserializing {ty}"),
+        }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialization into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a JSON value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a JSON value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(Number::UInt(*self as u128))
+            }
+        }
+    )*};
+}
+impl_ser_uint!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i128;
+                if v >= 0 {
+                    Value::Num(Number::UInt(v as u128))
+                } else {
+                    Value::Num(Number::Int(v))
+                }
+            }
+        }
+    )*};
+}
+impl_ser_int!(i8, i16, i32, i64, i128, isize);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Num(Number::Float(*self as f64))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Num(Number::Float(*self))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$n.to_value()),+])
+            }
+        }
+    )*};
+}
+impl_ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Obj(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Serialize, S> Serialize for HashMap<String, V, S> {
+    fn to_value(&self) -> Value {
+        // Collecting into the BTreeMap-backed object sorts keys, so the
+        // serialized form is independent of hash iteration order.
+        Value::Obj(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls
+// ---------------------------------------------------------------------------
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::expected("bool", "bool"))
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::expected("string", "String"))
+    }
+}
+
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        // Real serde borrows `&'de str` from the input document; this
+        // stand-in's data model is owned, so strings deserialized into
+        // `&'static str` fields (e.g. device-name tables) are interned in a
+        // process-wide dedup table instead. Bounded by the set of distinct
+        // strings ever deserialized this way — a handful of device names.
+        use std::collections::BTreeSet;
+        use std::sync::{Mutex, OnceLock};
+        static INTERNED: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+        let s = v
+            .as_str()
+            .ok_or_else(|| DeError::expected("string", "&'static str"))?;
+        let mut table = INTERNED
+            .get_or_init(|| Mutex::new(BTreeSet::new()))
+            .lock()
+            .expect("intern table poisoned");
+        if let Some(found) = table.get(s) {
+            return Ok(found);
+        }
+        let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+        table.insert(leaked);
+        Ok(leaked)
+    }
+}
+
+macro_rules! impl_de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v
+                    .as_number()
+                    .ok_or_else(|| DeError::expected("number", stringify!($t)))?;
+                n.as_u128()
+                    .and_then(|u| <$t>::try_from(u).ok())
+                    .ok_or_else(|| DeError::expected("unsigned integer in range", stringify!($t)))
+            }
+        }
+    )*};
+}
+impl_de_uint!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v
+                    .as_number()
+                    .ok_or_else(|| DeError::expected("number", stringify!($t)))?;
+                n.as_i128()
+                    .and_then(|i| <$t>::try_from(i).ok())
+                    .ok_or_else(|| DeError::expected("integer in range", stringify!($t)))
+            }
+        }
+    )*};
+}
+impl_de_int!(i8, i16, i32, i64, i128, isize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::expected("number", "f64"))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(f64::from_value(v)? as f32)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let arr = v
+            .as_array()
+            .ok_or_else(|| DeError::expected("array", "Vec"))?;
+        arr.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        <[T; N]>::try_from(items).map_err(|_| DeError::expected("array of exact length", "[T; N]"))
+    }
+}
+
+macro_rules! impl_de_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let arr = v
+                    .as_array()
+                    .ok_or_else(|| DeError::expected("array", "tuple"))?;
+                const LEN: usize = 0 $(+ { let _ = stringify!($t); 1 })+;
+                if arr.len() != LEN {
+                    return Err(DeError::expected("array of tuple arity", "tuple"));
+                }
+                Ok(($($t::from_value(&arr[$n])?,)+))
+            }
+        }
+    )*};
+}
+impl_de_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", "BTreeMap"))?;
+        obj.iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", "HashMap"))?;
+        obj.iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+// Tests assert exact float values: bit-identical replay is the property under test.
+#[allow(clippy::float_cmp)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        assert_eq!(u32::from_value(&7u32.to_value()).unwrap(), 7);
+        assert_eq!(i64::from_value(&(-3i64).to_value()).unwrap(), -3);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(String::from_value(&"hi".to_value()).unwrap(), "hi");
+        assert_eq!(
+            Vec::<u8>::from_value(&vec![1u8, 2].to_value()).unwrap(),
+            vec![1, 2]
+        );
+        let arr: [u16; 3] = Deserialize::from_value(&[1u16, 2, 3].to_value()).unwrap();
+        assert_eq!(arr, [1, 2, 3]);
+    }
+
+    #[test]
+    fn u128_counter_round_trips() {
+        let big: u128 = u128::MAX - 5;
+        assert_eq!(u128::from_value(&big.to_value()).unwrap(), big);
+    }
+
+    #[test]
+    fn hashmap_serializes_sorted() {
+        let mut m = HashMap::new();
+        m.insert("zeta".to_string(), 1u32);
+        m.insert("alpha".to_string(), 2u32);
+        let v = m.to_value();
+        let obj = v.as_object().unwrap();
+        let keys: Vec<&String> = obj.keys().collect();
+        assert_eq!(keys, ["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn option_maps_null() {
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Option::<u32>::from_value(&5u32.to_value()).unwrap(),
+            Some(5)
+        );
+    }
+}

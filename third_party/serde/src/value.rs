@@ -1,0 +1,215 @@
+//! The JSON value model shared by the `serde` and `serde_json` stand-ins.
+
+use std::collections::BTreeMap;
+
+/// A JSON number: unsigned, signed, or floating point.
+///
+/// Integers are kept exact (up to 128 bits — `detrand` serializes `u128`
+/// Philox counters) and only collapse to `f64` when a value actually has a
+/// fractional part.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// A non-negative integer.
+    UInt(u128),
+    /// A negative integer.
+    Int(i128),
+    /// A floating-point number.
+    Float(f64),
+}
+
+impl Number {
+    /// The value as `f64` (lossy for huge integers).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::UInt(u) => u as f64,
+            Number::Int(i) => i as f64,
+            Number::Float(f) => f,
+        }
+    }
+
+    /// The value as `u128`, if it is a non-negative integer.
+    pub fn as_u128(&self) -> Option<u128> {
+        match *self {
+            Number::UInt(u) => Some(u),
+            Number::Int(i) => u128::try_from(i).ok(),
+            Number::Float(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => {
+                Some(f as u128)
+            }
+            Number::Float(_) => None,
+        }
+    }
+
+    /// The value as `i128`, if it is an integer.
+    pub fn as_i128(&self) -> Option<i128> {
+        match *self {
+            Number::UInt(u) => i128::try_from(u).ok(),
+            Number::Int(i) => Some(i),
+            Number::Float(f) if f.fract() == 0.0 && f.abs() <= i64::MAX as f64 => Some(f as i128),
+            Number::Float(_) => None,
+        }
+    }
+}
+
+/// A JSON value tree. Objects are ordered maps (`BTreeMap`), so rendering
+/// the same data always yields the same bytes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Num(Number),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object with canonically ordered keys.
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// `true` if the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The underlying number, if the value is numeric.
+    pub fn as_number(&self) -> Option<&Number> {
+        match self {
+            Value::Num(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        self.as_number().map(Number::as_f64)
+    }
+
+    /// The value as `u64`, if it is a non-negative integer that fits.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_number()
+            .and_then(Number::as_u128)
+            .and_then(|u| u64::try_from(u).ok())
+    }
+
+    /// The value as `i64`, if it is an integer that fits.
+    pub fn as_i64(&self) -> Option<i64> {
+        self.as_number()
+            .and_then(Number::as_i128)
+            .and_then(|i| i64::try_from(i).ok())
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value as an object, if it is one.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Object member lookup; `None` for non-objects or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|o| o.get(key))
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(*self)
+    }
+}
+
+macro_rules! impl_eq_num {
+    ($($t:ty => $conv:ident),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                match self.as_number() {
+                    // Float comparison is intentional: JSON numbers are exact
+                    // decimal renderings, equality is the contract under test.
+                    Some(n) => n.as_f64() == *other as f64,
+                    None => false,
+                }
+            }
+        }
+    )*};
+}
+impl_eq_num!(u64 => as_u64, i64 => as_i64, i32 => as_i64, u32 => as_u64, usize => as_u64, f64 => as_f64);
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}

@@ -1,0 +1,435 @@
+//! Offline stand-in for `serde_derive` (see `third_party/README.md`).
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! type shapes this workspace uses — non-generic structs with named fields
+//! and non-generic enums with unit, newtype, tuple, and struct variants —
+//! by walking the raw `proc_macro` token stream (no `syn`/`quote`
+//! available offline) and emitting the impl as source text.
+//!
+//! Encodings match serde's defaults, so JSON produced here is
+//! interchangeable with real serde_json output for these shapes:
+//! struct → object; unit variant → `"Name"`; newtype variant →
+//! `{"Name": value}`; tuple variant → `{"Name": [..]}`; struct variant →
+//! `{"Name": {..}}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum TypeDef {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Consumes one attribute (`#[...]` or `#![...]`) if present.
+fn skip_attrs(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match (toks.get(i), toks.get(i + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(crate)`, ...) if present.
+fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = toks.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Advances past a type (or any token run) up to a top-level `,`,
+/// tracking `<...>` nesting; returns the index of the `,` or end.
+fn skip_to_top_level_comma(toks: &[TokenTree], mut i: usize) -> usize {
+    let mut angle_depth: i32 = 0;
+    while i < toks.len() {
+        if let TokenTree::Punct(p) = &toks[i] {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return i,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parses `name: Type, ...` named-field lists, returning the field names.
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = group.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs(&toks, i);
+        i = skip_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &toks[i] else {
+            panic!("serde_derive stub: expected field name, got {:?}", toks[i]);
+        };
+        fields.push(name.to_string());
+        i += 1;
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive stub: expected ':' after field, got {other:?}"),
+        }
+        i = skip_to_top_level_comma(&toks, i);
+        i += 1; // past the comma (or end)
+    }
+    fields
+}
+
+/// Counts the top-level comma-separated items of a tuple-variant payload.
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = group.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut n = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs(&toks, i);
+        i = skip_vis(&toks, i);
+        let end = skip_to_top_level_comma(&toks, i);
+        if end > i {
+            n += 1;
+        }
+        i = end + 1;
+    }
+    n
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = group.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &toks[i] else {
+            panic!(
+                "serde_derive stub: expected variant name, got {:?}",
+                toks[i]
+            );
+        };
+        let name = name.to_string();
+        i += 1;
+        let shape = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                VariantShape::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                i += 1;
+                VariantShape::Tuple(n)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip a possible explicit discriminant, then the trailing comma.
+        i = skip_to_top_level_comma(&toks, i);
+        i += 1;
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_typedef(input: TokenStream) -> TypeDef {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&toks, 0);
+    i = skip_vis(&toks, i);
+    let TokenTree::Ident(kw) = &toks[i] else {
+        panic!(
+            "serde_derive stub: expected struct/enum keyword, got {:?}",
+            toks[i]
+        );
+    };
+    let kw = kw.to_string();
+    i += 1;
+    let TokenTree::Ident(name) = &toks[i] else {
+        panic!("serde_derive stub: expected type name, got {:?}", toks[i]);
+    };
+    let name = name.to_string();
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive stub: generic types are not supported (type {name})");
+        }
+    }
+    let Some(TokenTree::Group(body)) = toks.get(i) else {
+        panic!("serde_derive stub: expected type body for {name} (tuple/unit structs unsupported)");
+    };
+    match kw.as_str() {
+        "struct" => {
+            assert!(
+                body.delimiter() == Delimiter::Brace,
+                "serde_derive stub: only brace structs are supported (type {name})"
+            );
+            TypeDef::Struct {
+                name,
+                fields: parse_named_fields(body.stream()),
+            }
+        }
+        "enum" => TypeDef::Enum {
+            name,
+            variants: parse_variants(body.stream()),
+        },
+        other => panic!("serde_derive stub: cannot derive for `{other}` items"),
+    }
+}
+
+/// Derives the workspace's simplified `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse_typedef(input);
+    let src = match def {
+        TypeDef::Struct { name, fields } => {
+            let mut inserts = String::new();
+            for f in &fields {
+                inserts.push_str(&format!(
+                    "obj.insert(::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut obj = ::std::collections::BTreeMap::new();\n\
+                         {inserts}\
+                         ::serde::Value::Obj(obj)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        TypeDef::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in &variants {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{vname}\")),\n"
+                    )),
+                    VariantShape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(x0) => {{\n\
+                             let mut obj = ::std::collections::BTreeMap::new();\n\
+                             obj.insert(::std::string::String::from(\"{vname}\"), \
+                                        ::serde::Serialize::to_value(x0));\n\
+                             ::serde::Value::Obj(obj)\n\
+                         }}\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("x{k}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => {{\n\
+                                 let mut obj = ::std::collections::BTreeMap::new();\n\
+                                 obj.insert(::std::string::String::from(\"{vname}\"), \
+                                            ::serde::Value::Arr(vec![{}]));\n\
+                                 ::serde::Value::Obj(obj)\n\
+                             }}\n",
+                            binds.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let mut inserts = String::new();
+                        for f in fields {
+                            inserts.push_str(&format!(
+                                "inner.insert(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => {{\n\
+                                 let mut inner = ::std::collections::BTreeMap::new();\n\
+                                 {inserts}\
+                                 let mut obj = ::std::collections::BTreeMap::new();\n\
+                                 obj.insert(::std::string::String::from(\"{vname}\"), \
+                                            ::serde::Value::Obj(inner));\n\
+                                 ::serde::Value::Obj(obj)\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}\n}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    src.parse()
+        .expect("serde_derive stub: generated invalid Serialize impl")
+}
+
+/// Derives the workspace's simplified `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse_typedef(input);
+    let src = match def {
+        TypeDef::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in &fields {
+                inits.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(\
+                         obj.get(\"{f}\").unwrap_or(&::serde::Value::Null))?,\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let obj = __v.as_object().ok_or_else(|| \
+                             ::serde::DeError::expected(\"object\", \"{name}\"))?;\n\
+                         ::std::result::Result::Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        TypeDef::Enum { name, variants } => {
+            let unit: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .collect();
+            let payload: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| !matches!(v.shape, VariantShape::Unit))
+                .collect();
+
+            let mut body = String::new();
+            if !unit.is_empty() {
+                let mut arms = String::new();
+                for v in &unit {
+                    let vname = &v.name;
+                    arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    ));
+                }
+                body.push_str(&format!(
+                    "if let ::std::option::Option::Some(s) = __v.as_str() {{\n\
+                         return match s {{\n{arms}\
+                             other => ::std::result::Result::Err(::serde::DeError::msg(\
+                                 format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                         }};\n\
+                     }}\n"
+                ));
+            }
+            if payload.is_empty() {
+                body.push_str(&format!(
+                    "::std::result::Result::Err(\
+                         ::serde::DeError::expected(\"variant string\", \"{name}\"))\n"
+                ));
+            } else {
+                let mut arms = String::new();
+                for v in &payload {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => unreachable!(),
+                        VariantShape::Tuple(1) => arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok(\
+                                 {name}::{vname}(::serde::Deserialize::from_value(val)?)),\n"
+                        )),
+                        VariantShape::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|k| format!("::serde::Deserialize::from_value(&arr[{k}])?"))
+                                .collect();
+                            arms.push_str(&format!(
+                                "\"{vname}\" => {{\n\
+                                     let arr = val.as_array().ok_or_else(|| \
+                                         ::serde::DeError::expected(\"array\", \"{name}\"))?;\n\
+                                     if arr.len() != {n} {{\n\
+                                         return ::std::result::Result::Err(\
+                                             ::serde::DeError::expected(\
+                                                 \"array of arity {n}\", \"{name}\"));\n\
+                                     }}\n\
+                                     ::std::result::Result::Ok({name}::{vname}({}))\n\
+                                 }}\n",
+                                elems.join(", ")
+                            ));
+                        }
+                        VariantShape::Struct(fields) => {
+                            let mut inits = String::new();
+                            for f in fields {
+                                inits.push_str(&format!(
+                                    "{f}: ::serde::Deserialize::from_value(\
+                                         inner.get(\"{f}\").unwrap_or(&::serde::Value::Null))?,\n"
+                                ));
+                            }
+                            arms.push_str(&format!(
+                                "\"{vname}\" => {{\n\
+                                     let inner = val.as_object().ok_or_else(|| \
+                                         ::serde::DeError::expected(\"object\", \"{name}\"))?;\n\
+                                     ::std::result::Result::Ok({name}::{vname} {{\n{inits}}})\n\
+                                 }}\n"
+                            ));
+                        }
+                    }
+                }
+                body.push_str(&format!(
+                    "let obj = __v.as_object().ok_or_else(|| \
+                         ::serde::DeError::expected(\"object or string\", \"{name}\"))?;\n\
+                     let (key, val) = obj.iter().next().ok_or_else(|| \
+                         ::serde::DeError::expected(\"single-key object\", \"{name}\"))?;\n\
+                     match key.as_str() {{\n{arms}\
+                         other => ::std::result::Result::Err(::serde::DeError::msg(\
+                             format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                     }}\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         {body}\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    src.parse()
+        .expect("serde_derive stub: generated invalid Deserialize impl")
+}

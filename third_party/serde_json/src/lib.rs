@@ -1,0 +1,213 @@
+//! Offline stand-in for the `serde_json` crate (see `third_party/README.md`).
+//!
+//! Works against the simplified serde data model in the sibling `serde`
+//! stand-in: [`to_value`]/[`to_string`] walk `serde::Serialize::to_value`,
+//! [`from_str`] parses into a [`Value`] tree and hands it to
+//! `serde::Deserialize::from_value`. Objects are `BTreeMap`s, so all output
+//! is canonically key-ordered and byte-stable — results files produced by
+//! this workspace diff cleanly across runs.
+
+pub use serde::{Number, Value};
+
+mod parse;
+mod write;
+
+pub use parse::parse_value;
+
+/// Error type for serialization/deserialization failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub(crate) fn msg(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error::msg(e.to_string())
+    }
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Serializes a value to a compact JSON string.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(write::write_compact(&value.to_value()))
+}
+
+/// Serializes a value to a 2-space-indented JSON string.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(write::write_pretty(&value.to_value()))
+}
+
+/// Parses a JSON string into any deserializable type.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let v = parse::parse_value(s)?;
+    Ok(T::from_value(&v)?)
+}
+
+/// Support for [`json!`]: a fresh element buffer the tt-muncher pushes into.
+#[doc(hidden)]
+pub fn __new_arr() -> Vec<Value> {
+    Vec::new()
+}
+
+/// Builds a [`Value`] from JSON-ish syntax, like `serde_json::json!`.
+///
+/// Supports literals, `null`, nested `{...}`/`[...]`, string-literal keys,
+/// and arbitrary expressions in value position.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => {{
+        // Built by incremental push from the tt-muncher; vec![] can't apply.
+        let mut arr = $crate::__new_arr();
+        $crate::json_internal!(@arr arr () ($($tt)*));
+        $crate::Value::Arr(arr)
+    }};
+    ({ $($tt:tt)* }) => {{
+        let mut obj = ::std::collections::BTreeMap::new();
+        $crate::json_internal!(@obj obj ($($tt)*));
+        $crate::Value::Obj(obj)
+    }};
+    ($other:expr) => {
+        $crate::to_value(&$other).unwrap()
+    };
+}
+
+/// Implementation details of [`json!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // ---- objects: munch `"key": value, ...` ----------------------------
+    (@obj $obj:ident ()) => {};
+    (@obj $obj:ident (, $($rest:tt)*)) => {
+        $crate::json_internal!(@obj $obj ($($rest)*));
+    };
+    // Nested object / array / null in value position.
+    (@obj $obj:ident ($key:literal : { $($inner:tt)* } $($rest:tt)*)) => {
+        $obj.insert(::std::string::String::from($key), $crate::json!({ $($inner)* }));
+        $crate::json_internal!(@obj $obj ($($rest)*));
+    };
+    (@obj $obj:ident ($key:literal : [ $($inner:tt)* ] $($rest:tt)*)) => {
+        $obj.insert(::std::string::String::from($key), $crate::json!([ $($inner)* ]));
+        $crate::json_internal!(@obj $obj ($($rest)*));
+    };
+    (@obj $obj:ident ($key:literal : null $($rest:tt)*)) => {
+        $obj.insert(::std::string::String::from($key), $crate::Value::Null);
+        $crate::json_internal!(@obj $obj ($($rest)*));
+    };
+    // General expression: accumulate tokens up to a top-level comma.
+    (@obj $obj:ident ($key:literal : $($rest:tt)*)) => {
+        $crate::json_internal!(@objval $obj $key () ($($rest)*));
+    };
+    (@objval $obj:ident $key:literal ($($acc:tt)*) (, $($rest:tt)*)) => {
+        $obj.insert(::std::string::String::from($key), $crate::to_value(&($($acc)*)).unwrap());
+        $crate::json_internal!(@obj $obj ($($rest)*));
+    };
+    (@objval $obj:ident $key:literal ($($acc:tt)*) ()) => {
+        $obj.insert(::std::string::String::from($key), $crate::to_value(&($($acc)*)).unwrap());
+    };
+    (@objval $obj:ident $key:literal ($($acc:tt)*) ($next:tt $($rest:tt)*)) => {
+        $crate::json_internal!(@objval $obj $key ($($acc)* $next) ($($rest)*));
+    };
+    // ---- arrays: munch `value, ...` ------------------------------------
+    (@arr $arr:ident () ()) => {};
+    (@arr $arr:ident () (, $($rest:tt)*)) => {
+        $crate::json_internal!(@arr $arr () ($($rest)*));
+    };
+    (@arr $arr:ident () ({ $($inner:tt)* } $($rest:tt)*)) => {
+        $arr.push($crate::json!({ $($inner)* }));
+        $crate::json_internal!(@arr $arr () ($($rest)*));
+    };
+    (@arr $arr:ident () ([ $($inner:tt)* ] $($rest:tt)*)) => {
+        $arr.push($crate::json!([ $($inner)* ]));
+        $crate::json_internal!(@arr $arr () ($($rest)*));
+    };
+    (@arr $arr:ident () (null $(, $($rest:tt)*)?)) => {
+        $arr.push($crate::Value::Null);
+        $crate::json_internal!(@arr $arr () ($($($rest)*)?));
+    };
+    (@arr $arr:ident ($($acc:tt)+) (, $($rest:tt)*)) => {
+        $arr.push($crate::to_value(&($($acc)+)).unwrap());
+        $crate::json_internal!(@arr $arr () ($($rest)*));
+    };
+    (@arr $arr:ident ($($acc:tt)+) ()) => {
+        $arr.push($crate::to_value(&($($acc)+)).unwrap());
+    };
+    (@arr $arr:ident ($($acc:tt)*) ($next:tt $($rest:tt)*)) => {
+        $crate::json_internal!(@arr $arr ($($acc)* $next) ($($rest)*));
+    };
+}
+
+#[cfg(test)]
+// Tests assert exact float values: bit-identical replay is the property under test.
+#[allow(clippy::float_cmp)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_nested_values() {
+        let xs = vec![1u32, 2, 3];
+        let v = json!({
+            "list": xs,
+            "label": format!("run-{}", 7),
+            "meta": { "ok": true, "missing": null },
+            "raw": [1, 2, [3, 4]],
+        });
+        assert_eq!(v["label"], "run-7");
+        assert_eq!(v["list"].as_array().unwrap().len(), 3);
+        assert_eq!(v["meta"]["ok"], true);
+        assert!(v["meta"]["missing"].is_null());
+        assert_eq!(v["raw"][2][1], 4u64);
+    }
+
+    #[test]
+    fn round_trip_via_strings() {
+        let v = json!({"a": 1, "b": [true, "x"], "c": {"d": 2.5}});
+        let s = to_string(&v).unwrap();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(back, v);
+        let pretty = to_string_pretty(&v).unwrap();
+        let back2: Value = from_str(&pretty).unwrap();
+        assert_eq!(back2, v);
+    }
+
+    #[test]
+    fn output_is_canonically_ordered() {
+        let v = json!({"zeta": 1, "alpha": 2});
+        assert_eq!(to_string(&v).unwrap(), "{\"alpha\":2,\"zeta\":1}");
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for x in [0.1f64, 1e-9, 123456.789, -2.5, 3.0] {
+            let s = to_string(&x).unwrap();
+            let back: f64 = from_str(&s).unwrap();
+            assert_eq!(back, x, "round-trip of {x} via {s}");
+        }
+    }
+
+    #[test]
+    fn escapes_survive() {
+        let s = "line\n\"quoted\"\tand\\slash \u{1F600}";
+        let j = to_string(&s).unwrap();
+        let back: String = from_str(&j).unwrap();
+        assert_eq!(back, s);
+    }
+}
