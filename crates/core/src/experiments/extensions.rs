@@ -46,7 +46,9 @@ pub fn data_parallel_sweep(settings: &ExperimentSettings) -> Vec<DataParallelPoi
             task.train.data_parallel_workers = workers;
             let prepared = PreparedTask::prepare(&task);
             let runs = run_variant(&prepared, &device, NoiseVariant::Impl, settings);
-            let preds = runs.class_pred_sets();
+            let preds = runs
+                .class_pred_sets()
+                .expect("CIFAR-style tasks predict classes");
             let weights = runs.weight_sets();
             DataParallelPoint {
                 workers,
@@ -85,7 +87,11 @@ pub fn lanes_sweep(settings: &ExperimentSettings) -> Vec<LanesPoint> {
             LanesPoint {
                 cuda_cores: cores,
                 lanes: device.lanes(),
-                churn: pairwise_mean_churn(&runs.class_pred_sets()),
+                churn: pairwise_mean_churn(
+                    &runs
+                        .class_pred_sets()
+                        .expect("CIFAR-style tasks predict classes"),
+                ),
                 l2: pairwise_mean_l2(&runs.weight_sets()),
             }
         })
@@ -269,7 +275,11 @@ pub fn architecture_instability(settings: &ExperimentSettings) -> Vec<ArchInstab
             let runs = run_variant(&prepared, &device, NoiseVariant::AlgoImpl, settings);
             ArchInstabilityPoint {
                 model: name.to_string(),
-                churn: pairwise_mean_churn(&runs.class_pred_sets()),
+                churn: pairwise_mean_churn(
+                    &runs
+                        .class_pred_sets()
+                        .expect("CIFAR-style tasks predict classes"),
+                ),
                 std_accuracy: nsmetrics::stddev(&runs.accuracies()),
                 mean_accuracy: nsmetrics::mean(&runs.accuracies()),
             }

@@ -76,7 +76,9 @@ pub fn fig3_table5(settings: &ExperimentSettings) -> Vec<Table5> {
         .iter()
         .map(|&variant| {
             let runs = run_variant(&prepared, &device, variant, settings);
-            let preds = runs.binary_pred_sets();
+            let preds = runs
+                .binary_pred_sets()
+                .expect("CelebA attribute tasks predict binary labels");
             // Per subgroup, per replica: accuracy/FPR/FNR; then stddev.
             let mut per_group: Vec<(Vec<f64>, Vec<f64>, Vec<f64>)> =
                 vec![(Vec::new(), Vec::new(), Vec::new()); SUBGROUPS.len()];

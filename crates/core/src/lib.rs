@@ -55,9 +55,12 @@ pub mod variant;
 /// Convenience re-exports for experiment drivers.
 pub mod prelude {
     pub use crate::report::{render_table, stability_report, StabilityReport};
-    pub use crate::runner::{run_replica, run_variant, PreparedTask, ReplicaResult, VariantRuns};
+    pub use crate::runner::{
+        run_replica, run_variant, Preds, PredsKindError, PreparedData, PreparedTask, ReplicaResult,
+        VariantRuns,
+    };
     pub use crate::settings::ExperimentSettings;
     pub use crate::task::{DataSource, ModelKind, TaskSpec};
     pub use crate::variant::NoiseVariant;
-    pub use hwsim::{Device, ExecutionMode};
+    pub use hwsim::{Device, ExecutionContext, ExecutionMode, OpClass};
 }

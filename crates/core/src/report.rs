@@ -63,7 +63,9 @@ pub fn stability_report(
 
     let (churn, per_class_std) = match &runs.results.first().map(|r| &r.preds) {
         Some(Preds::Classes(_)) => {
-            let preds = runs.class_pred_sets();
+            let preds = runs
+                .class_pred_sets()
+                .expect("matched Preds::Classes above");
             let churn = pairwise_mean_churn(&preds);
             // Per-class accuracy stddev across replicas.
             let labels = match &prepared.test_set().targets {
@@ -85,7 +87,9 @@ pub fn stability_report(
             (churn, per_class.iter().map(|xs| stddev(xs)).collect())
         }
         Some(Preds::Binary(_)) => {
-            let preds = runs.binary_pred_sets();
+            let preds = runs
+                .binary_pred_sets()
+                .expect("matched Preds::Binary above");
             (pairwise_mean_churn(&preds), Vec::new())
         }
         None => (0.0, Vec::new()),

@@ -100,6 +100,40 @@ pub struct VariantRuns {
     pub results: Vec<ReplicaResult>,
 }
 
+/// A [`VariantRuns`] accessor was asked for one kind of predictions but a
+/// replica holds the other (e.g. class predictions requested from a binary
+/// attribute task).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PredsKindError {
+    /// What the accessor expected.
+    pub expected: &'static str,
+    /// What the replica actually holds.
+    pub found: &'static str,
+    /// The offending replica index.
+    pub replica: u32,
+}
+
+impl std::fmt::Display for PredsKindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "expected {} predictions but replica {} holds {} predictions",
+            self.expected, self.replica, self.found
+        )
+    }
+}
+
+impl std::error::Error for PredsKindError {}
+
+impl Preds {
+    fn kind(&self) -> &'static str {
+        match self {
+            Preds::Classes(_) => "class",
+            Preds::Binary(_) => "binary",
+        }
+    }
+}
+
 impl VariantRuns {
     /// Replica accuracies.
     pub fn accuracies(&self) -> Vec<f64> {
@@ -113,30 +147,38 @@ impl VariantRuns {
 
     /// Replica class predictions.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the runs hold binary predictions.
-    pub fn class_pred_sets(&self) -> Vec<Vec<u32>> {
+    /// Returns [`PredsKindError`] if any replica holds binary predictions.
+    pub fn class_pred_sets(&self) -> Result<Vec<Vec<u32>>, PredsKindError> {
         self.results
             .iter()
             .map(|r| match &r.preds {
-                Preds::Classes(p) => p.clone(),
-                Preds::Binary(_) => panic!("expected class predictions"),
+                Preds::Classes(p) => Ok(p.clone()),
+                other => Err(PredsKindError {
+                    expected: "class",
+                    found: other.kind(),
+                    replica: r.replica,
+                }),
             })
             .collect()
     }
 
     /// Replica binary predictions.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the runs hold class predictions.
-    pub fn binary_pred_sets(&self) -> Vec<Vec<u8>> {
+    /// Returns [`PredsKindError`] if any replica holds class predictions.
+    pub fn binary_pred_sets(&self) -> Result<Vec<Vec<u8>>, PredsKindError> {
         self.results
             .iter()
             .map(|r| match &r.preds {
-                Preds::Binary(p) => p.clone(),
-                Preds::Classes(_) => panic!("expected binary predictions"),
+                Preds::Binary(p) => Ok(p.clone()),
+                other => Err(PredsKindError {
+                    expected: "binary",
+                    found: other.kind(),
+                    replica: r.replica,
+                }),
             })
             .collect()
     }
@@ -152,12 +194,12 @@ pub fn run_replica(
 ) -> ReplicaResult {
     let spec = &prepared.spec;
     let algo = variant.seed_policy().root_for(settings.base_seed, replica);
-    let mut exec = ExecutionContext::with_amplification(
-        *device,
-        variant.exec_mode(),
-        settings.entropy_for(replica),
-        settings.amp_ulps,
-    );
+    let mut exec = ExecutionContext::builder(*device)
+        .mode(variant.exec_mode())
+        .entropy(settings.entropy_for(replica))
+        .amp_ulps(settings.amp_ulps)
+        .threads(settings.exec_threads)
+        .build();
     let mut net = spec.build_model(&algo);
     let trainer = Trainer::new(spec.train_config(settings));
     let augment = ShiftFlip::standard();
@@ -213,24 +255,35 @@ pub fn run_variant(
             results[r as usize] = Some(run_replica(prepared, device, variant, settings, r));
         }
     } else {
+        // Workers pull replica indices from a shared counter and return
+        // their (index, result) pairs through the join handle; the harvest
+        // scatters by index, so fleet results are in replica order no
+        // matter which worker trained what. Replica *contents* never depend
+        // on scheduling anyway — each replica derives its seeds and entropy
+        // from its index alone.
         let next = std::sync::atomic::AtomicU32::new(0);
-        let slots: Vec<std::sync::Mutex<Option<ReplicaResult>>> =
-            (0..n).map(|_| std::sync::Mutex::new(None)).collect();
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|_| loop {
-                    let r = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if r >= n {
-                        break;
-                    }
-                    let out = run_replica(prepared, device, variant, settings, r);
-                    *slots[r as usize].lock().unwrap() = Some(out);
-                });
-            }
-        })
-        .expect("replica worker panicked");
-        for (i, slot) in slots.into_iter().enumerate() {
-            results[i] = slot.into_inner().unwrap();
+        let harvested = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local: Vec<(u32, ReplicaResult)> = Vec::new();
+                        loop {
+                            let r = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if r >= n {
+                                return local;
+                            }
+                            local.push((r, run_replica(prepared, device, variant, settings, r)));
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("replica worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        for (r, out) in harvested {
+            results[r as usize] = Some(out);
         }
     }
     VariantRuns {

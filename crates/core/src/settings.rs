@@ -24,6 +24,12 @@ pub struct ExperimentSettings {
     pub amp_ulps: f32,
     /// Multiplier on every task's epoch budget (quick-mode knob).
     pub epochs_scale: f32,
+    /// Host threads the blocked GEMM engine may use *within* one replica's
+    /// tensor ops. Purely a wall-clock knob — the engine is bitwise
+    /// invariant in the thread count — and orthogonal to the replica-level
+    /// parallelism of `run_variant`, so the default stays 1 to leave the
+    /// cores to the embarrassingly parallel replica fleet.
+    pub exec_threads: usize,
 }
 
 impl Default for ExperimentSettings {
@@ -34,6 +40,7 @@ impl Default for ExperimentSettings {
             entropy_salt: 0x5EED_0015_EF00_D5ED,
             amp_ulps: 512.0,
             epochs_scale: 1.0,
+            exec_threads: 1,
         }
     }
 }
@@ -41,7 +48,7 @@ impl Default for ExperimentSettings {
 impl ExperimentSettings {
     /// Reads overrides from the environment:
     /// `NS_REPLICAS`, `NS_SEED`, `NS_AMP_ULPS`, `NS_EPOCHS_SCALE`,
-    /// `NS_QUICK` (=1 → 3 replicas, half epochs).
+    /// `NS_EXEC_THREADS`, `NS_QUICK` (=1 → 3 replicas, half epochs).
     pub fn from_env() -> Self {
         let mut s = Self::default();
         if let Ok(v) = std::env::var("NS_REPLICAS") {
@@ -62,6 +69,11 @@ impl ExperimentSettings {
         if let Ok(v) = std::env::var("NS_EPOCHS_SCALE") {
             if let Ok(n) = v.parse() {
                 s.epochs_scale = n;
+            }
+        }
+        if let Ok(v) = std::env::var("NS_EXEC_THREADS") {
+            if let Ok(n) = v.parse::<usize>() {
+                s.exec_threads = n.max(1);
             }
         }
         if std::env::var("NS_QUICK").map(|v| v == "1").unwrap_or(false) {

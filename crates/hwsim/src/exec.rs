@@ -69,42 +69,126 @@ impl OpClass {
 pub struct ExecutionContext {
     device: Device,
     mode: ExecutionMode,
+    threads: usize,
     reducers: [Reducer; 5],
 }
 
+/// Fluent constructor for [`ExecutionContext`], obtained from
+/// [`ExecutionContext::builder`]. Every knob has a sensible default
+/// (`Default` mode, entropy 0, no amplification, single-threaded), so call
+/// sites only name what they change:
+///
+/// ```
+/// use hwsim::{Device, ExecutionContext, ExecutionMode};
+/// let ctx = ExecutionContext::builder(Device::v100())
+///     .mode(ExecutionMode::Deterministic)
+///     .entropy(42)
+///     .threads(4)
+///     .build();
+/// assert!(!ctx.is_nondeterministic());
+/// assert_eq!(ctx.threads(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExecutionContextBuilder {
+    device: Device,
+    mode: ExecutionMode,
+    entropy: u64,
+    amp_ulps: f32,
+    threads: usize,
+}
+
+impl ExecutionContextBuilder {
+    /// Sets the framework execution mode (default: [`ExecutionMode::Default`]).
+    pub fn mode(mut self, mode: ExecutionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Seeds the scheduler RNG (default: 0). Only consumed when the
+    /// device/mode combination is nondeterministic; deterministic execution
+    /// produces bitwise-identical results for any entropy.
+    pub fn entropy(mut self, entropy: u64) -> Self {
+        self.entropy = entropy;
+        self
+    }
+
+    /// Enables the amplified-noise tier
+    /// (see [`nstensor::Reducer::with_amplification`]): `amp_ulps` models
+    /// the longer accumulation chains of full-scale workloads. Ignored by
+    /// deterministic execution. Default: 0 (faithful order-only noise).
+    pub fn amp_ulps(mut self, amp_ulps: f32) -> Self {
+        self.amp_ulps = amp_ulps;
+        self
+    }
+
+    /// Sets the host thread count the blocked GEMM engine may use for this
+    /// context's tensor ops (default: 1). Purely a wall-clock knob: the
+    /// engine is bitwise invariant in the thread count, so this never
+    /// changes simulated results — simulated nondeterminism comes only from
+    /// the device/mode reducer configuration. Clamped to at least 1.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Builds the context.
+    pub fn build(self) -> ExecutionContext {
+        let mut seeder = SplitMix64::new(self.entropy);
+        let reducers = core::array::from_fn(|i| {
+            let class = OpClass::ALL[i];
+            let order = ExecutionContext::order_for(&self.device, self.mode, class);
+            let lanes = self.device.lanes();
+            let seed = seeder.next_u64();
+            Reducer::new(order, lanes, seed).with_amplification(self.amp_ulps)
+        });
+        ExecutionContext {
+            device: self.device,
+            mode: self.mode,
+            threads: self.threads,
+            reducers,
+        }
+    }
+}
+
 impl ExecutionContext {
+    /// Starts a fluent builder for a context on `device`. See
+    /// [`ExecutionContextBuilder`] for the knobs and their defaults.
+    pub fn builder(device: Device) -> ExecutionContextBuilder {
+        ExecutionContextBuilder {
+            device,
+            mode: ExecutionMode::Default,
+            entropy: 0,
+            amp_ulps: 0.0,
+            threads: 1,
+        }
+    }
+
     /// Creates a context for `device` in `mode`.
     ///
     /// `entropy` seeds the scheduler RNG. It is only consumed when the
     /// device/mode combination is nondeterministic; deterministic execution
     /// produces bitwise-identical results for any entropy.
     pub fn new(device: Device, mode: ExecutionMode, entropy: u64) -> Self {
-        Self::with_amplification(device, mode, entropy, 0.0)
+        Self::builder(device).mode(mode).entropy(entropy).build()
     }
 
-    /// Creates a context with the amplified-noise tier enabled
-    /// (see [`nstensor::Reducer::with_amplification`]): `amp_ulps` models
-    /// the longer accumulation chains of full-scale workloads. Ignored by
-    /// deterministic execution.
+    /// Creates a context with the amplified-noise tier enabled.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `ExecutionContext::builder(device).mode(..).entropy(..).amp_ulps(..).build()` \
+                — positional f32/u64 arguments were too easy to swap"
+    )]
     pub fn with_amplification(
         device: Device,
         mode: ExecutionMode,
         entropy: u64,
         amp_ulps: f32,
     ) -> Self {
-        let mut seeder = SplitMix64::new(entropy);
-        let reducers = core::array::from_fn(|i| {
-            let class = OpClass::ALL[i];
-            let order = Self::order_for(&device, mode, class);
-            let lanes = device.lanes();
-            let seed = seeder.next_u64();
-            Reducer::new(order, lanes, seed).with_amplification(amp_ulps)
-        });
-        Self {
-            device,
-            mode,
-            reducers,
-        }
+        Self::builder(device)
+            .mode(mode)
+            .entropy(entropy)
+            .amp_ulps(amp_ulps)
+            .build()
     }
 
     /// The accumulation order a given op class uses on this device/mode.
@@ -137,6 +221,13 @@ impl ExecutionContext {
     /// The execution mode.
     pub fn mode(&self) -> ExecutionMode {
         self.mode
+    }
+
+    /// Host threads the blocked GEMM engine may use for this context's
+    /// tensor ops. Bitwise irrelevant to results; see
+    /// [`ExecutionContextBuilder::threads`].
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Whether any op class in this context is nondeterministic.
@@ -239,5 +330,54 @@ mod tests {
     fn reducers_use_device_lanes() {
         let mut ctx = ExecutionContext::new(Device::t4(), ExecutionMode::Default, 0);
         assert_eq!(ctx.reducer(OpClass::Misc).lanes(), Device::t4().lanes());
+    }
+
+    #[test]
+    fn builder_defaults() {
+        let ctx = ExecutionContext::builder(Device::v100()).build();
+        assert_eq!(ctx.mode(), ExecutionMode::Default);
+        assert_eq!(ctx.threads(), 1);
+        assert_eq!(ctx.device().name(), Device::v100().name());
+    }
+
+    #[test]
+    fn builder_threads_clamped_to_one() {
+        let ctx = ExecutionContext::builder(Device::cpu()).threads(0).build();
+        assert_eq!(ctx.threads(), 1);
+    }
+
+    #[test]
+    fn builder_threads_do_not_change_reducer_state() {
+        let xs: Vec<f32> = (0..800).map(|i| (i as f32 * 0.3).cos()).collect();
+        let mut a = ExecutionContext::builder(Device::v100()).entropy(9).build();
+        let mut b = ExecutionContext::builder(Device::v100())
+            .entropy(9)
+            .threads(8)
+            .build();
+        for class in OpClass::ALL {
+            assert_eq!(
+                a.reducer(class).sum(&xs).to_bits(),
+                b.reducer(class).sum(&xs).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_with_amplification_matches_builder() {
+        let xs: Vec<f32> = (0..800).map(|i| (i as f32 * 0.9).sin()).collect();
+        let mut old =
+            ExecutionContext::with_amplification(Device::v100(), ExecutionMode::Default, 7, 1e4);
+        let mut new = ExecutionContext::builder(Device::v100())
+            .mode(ExecutionMode::Default)
+            .entropy(7)
+            .amp_ulps(1e4)
+            .build();
+        for class in OpClass::ALL {
+            assert_eq!(
+                old.reducer(class).sum(&xs).to_bits(),
+                new.reducer(class).sum(&xs).to_bits()
+            );
+        }
     }
 }

@@ -54,7 +54,7 @@ pub mod workload;
 pub use autotune::{select_conv_kernels, ConvKernelPlan};
 pub use cost::CostModel;
 pub use device::{Architecture, Device};
-pub use exec::{ExecutionContext, ExecutionMode, OpClass};
+pub use exec::{ExecutionContext, ExecutionContextBuilder, ExecutionMode, OpClass};
 pub use kernels::{ConvAlgorithm, ConvPass, KernelChoice};
 pub use profiler::{profile_workload, KernelProfile, KernelRecord};
 pub use workload::WorkloadOp;

@@ -4,7 +4,7 @@ use super::Layer;
 use crate::init::Init;
 use detrand::{Philox, StreamRng};
 use hwsim::{ExecutionContext, OpClass};
-use nstensor::{conv2d_backward, conv2d_forward, ConvGeometry, Shape, Tensor};
+use nstensor::{conv2d_backward_ws, conv2d_forward_ws, ConvGeometry, Shape, Tensor, Workspace};
 
 /// A 2-D convolution layer (`[N, C, H, W]` input).
 ///
@@ -21,6 +21,9 @@ pub struct Conv2d {
     dw: Tensor,
     db: Tensor,
     cached_x: Option<Tensor>,
+    /// Recycled scratch (im2col columns, packed GEMM panels) reused across
+    /// training steps instead of re-allocated per call.
+    ws: Workspace,
 }
 
 impl Conv2d {
@@ -42,6 +45,7 @@ impl Conv2d {
             b,
             geom,
             cached_x: None,
+            ws: Workspace::new(),
         }
     }
 
@@ -65,12 +69,15 @@ impl Layer for Conv2d {
         _step: u64,
         training: bool,
     ) -> Tensor {
-        let y = conv2d_forward(
+        let threads = exec.threads();
+        let y = conv2d_forward_ws(
             &x,
             &self.w,
             &self.b,
             &self.geom,
             exec.reducer(OpClass::MatmulForward),
+            threads,
+            &mut self.ws,
         )
         .expect("conv2d forward shape");
         if training {
@@ -81,12 +88,15 @@ impl Layer for Conv2d {
 
     fn backward(&mut self, dy: Tensor, exec: &mut ExecutionContext) -> Tensor {
         let x = self.cached_x.take().expect("backward before forward");
-        let grads = conv2d_backward(
+        let threads = exec.threads();
+        let grads = conv2d_backward_ws(
             &x,
             &self.w,
             &dy,
             &self.geom,
             exec.reducer(OpClass::WeightGrad),
+            threads,
+            &mut self.ws,
         )
         .expect("conv2d backward shape");
         self.dw = grads.dw;

@@ -4,7 +4,7 @@ use super::Layer;
 use crate::init::Init;
 use detrand::{Philox, StreamRng};
 use hwsim::{ExecutionContext, OpClass};
-use nstensor::{matmul, matmul_a_bt, matmul_at_b, ops, Shape, Tensor};
+use nstensor::{matmul_a_bt_ws, matmul_at_b_ws, matmul_ws, ops, Shape, Tensor, Workspace};
 
 /// A dense (fully-connected) layer: `y = x·W + b` on `[N, in]` inputs.
 #[derive(Debug)]
@@ -14,6 +14,9 @@ pub struct Dense {
     dw: Tensor,
     db: Tensor,
     cached_x: Option<Tensor>,
+    /// Recycled scratch (transposes, packed GEMM panels) reused across
+    /// training steps instead of re-allocated per call.
+    ws: Workspace,
 }
 
 impl Dense {
@@ -32,6 +35,7 @@ impl Dense {
             w,
             b,
             cached_x: None,
+            ws: Workspace::new(),
         }
     }
 
@@ -60,8 +64,15 @@ impl Layer for Dense {
         _step: u64,
         training: bool,
     ) -> Tensor {
-        let mut y =
-            matmul(&x, &self.w, exec.reducer(OpClass::MatmulForward)).expect("dense forward shape");
+        let threads = exec.threads();
+        let mut y = matmul_ws(
+            &x,
+            &self.w,
+            exec.reducer(OpClass::MatmulForward),
+            threads,
+            &mut self.ws,
+        )
+        .expect("dense forward shape");
         ops::add_row_bias(&mut y, &self.b).expect("bias shape");
         if training {
             self.cached_x = Some(x);
@@ -71,11 +82,26 @@ impl Layer for Dense {
 
     fn backward(&mut self, dy: Tensor, exec: &mut ExecutionContext) -> Tensor {
         let x = self.cached_x.take().expect("backward before forward");
+        let threads = exec.threads();
         // dW = xᵀ·dy — the cross-batch weight-gradient reduction.
-        self.dw = matmul_at_b(&x, &dy, exec.reducer(OpClass::WeightGrad)).expect("dense dW shape");
+        self.dw = matmul_at_b_ws(
+            &x,
+            &dy,
+            exec.reducer(OpClass::WeightGrad),
+            threads,
+            &mut self.ws,
+        )
+        .expect("dense dW shape");
         self.db = ops::sum_rows(&dy, exec.reducer(OpClass::WeightGrad)).expect("dense db shape");
         // dx = dy·Wᵀ.
-        matmul_a_bt(&dy, &self.w, exec.reducer(OpClass::InputGrad)).expect("dense dx shape")
+        matmul_a_bt_ws(
+            &dy,
+            &self.w,
+            exec.reducer(OpClass::InputGrad),
+            threads,
+            &mut self.ws,
+        )
+        .expect("dense dx shape")
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {

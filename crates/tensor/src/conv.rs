@@ -5,12 +5,22 @@
 //! *weight-gradient reduction across the whole batch* (the reduction the
 //! paper singles out as an overlooked source of implementation noise), all
 //! flow through the [`Reducer`].
+//!
+//! Both passes run on the blocked GEMM engine ([`crate::gemm`]) and are
+//! bit-identical to the original per-element loops: the engine only
+//! reorders *which outputs* are computed when, never the k-dimension
+//! combine order inside one output, and all scheduler RNG is pre-drawn in
+//! reference order via [`Reducer::plan_dots`]. The `_ws` variants reuse
+//! caller-provided [`Workspace`] scratch (im2col columns, packed panels,
+//! transposes) across calls; the plain variants allocate privately.
 
 use crate::error::ShapeError;
-use crate::linalg::matmul;
-use crate::reduce::Reducer;
+use crate::gemm::gemm_packed_planned;
+use crate::pack::{pack_b_panels, NR};
+use crate::reduce::{DotPlan, ReduceOrder, Reducer};
 use crate::shape::Shape;
 use crate::tensor::Tensor;
+use crate::workspace::Workspace;
 use serde::{Deserialize, Serialize};
 
 /// Geometry of a 2-D convolution.
@@ -118,27 +128,127 @@ fn im2col(x: &[f32], g: &ConvGeometry, out: &mut [f32]) {
     debug_assert_eq!(out.len(), oh * ow * pl);
     let kk = g.k * g.k;
     for oy in 0..oh {
-        for ox in 0..ow {
-            let row = (oy * ow + ox) * pl;
-            for c in 0..g.in_c {
-                let chan = &x[c * g.in_h * g.in_w..(c + 1) * g.in_h * g.in_w];
-                for ky in 0..g.k {
-                    let iy = (oy * g.stride + ky) as isize - g.pad as isize;
-                    for kx in 0..g.k {
-                        let ix = (ox * g.stride + kx) as isize - g.pad as isize;
-                        let v = if iy >= 0
-                            && ix >= 0
-                            && (iy as usize) < g.in_h
-                            && (ix as usize) < g.in_w
-                        {
-                            chan[iy as usize * g.in_w + ix as usize]
-                        } else {
-                            0.0
-                        };
-                        out[row + c * kk + ky * g.k + kx] = v;
+        for c in 0..g.in_c {
+            let chan = &x[c * g.in_h * g.in_w..(c + 1) * g.in_h * g.in_w];
+            for ky in 0..g.k {
+                let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                if iy < 0 || iy as usize >= g.in_h {
+                    for ox in 0..ow {
+                        let dst = (oy * ow + ox) * pl + c * kk + ky * g.k;
+                        out[dst..dst + g.k].fill(0.0);
+                    }
+                    continue;
+                }
+                let src_row = &chan[iy as usize * g.in_w..(iy as usize + 1) * g.in_w];
+                for ox in 0..ow {
+                    let dst = &mut out[(oy * ow + ox) * pl + c * kk + ky * g.k..][..g.k];
+                    let ix0 = (ox * g.stride) as isize - g.pad as isize;
+                    if ix0 >= 0 && ix0 as usize + g.k <= g.in_w {
+                        // Interior patch row: one contiguous copy.
+                        dst.copy_from_slice(&src_row[ix0 as usize..ix0 as usize + g.k]);
+                    } else {
+                        for (kx, d) in dst.iter_mut().enumerate() {
+                            let ix = ix0 + kx as isize;
+                            *d = if ix >= 0 && (ix as usize) < g.in_w {
+                                src_row[ix as usize]
+                            } else {
+                                0.0
+                            };
+                        }
                     }
                 }
             }
+        }
+    }
+}
+
+/// Lowers a batch of samples *directly into the GEMM engine's packed
+/// panel layout* (see [`crate::pack::pack_b_panels`]): element
+/// `[p * pl * NR + kk * NR + j]` is patch position `kk` of global output
+/// pixel `p * NR + j`, where global pixels run `(sample, oy, ox)`
+/// row-major across the batch. Panel columns past the last pixel are
+/// zeroed. Fusing the lowering with packing skips the intermediate
+/// `[pixels, patch_len]` buffer and turns the inner loop into contiguous
+/// row copies (one per run of output pixels sharing an image row).
+///
+/// Packing only copies values, so this cannot perturb any accumulation
+/// order.
+pub(crate) fn im2col_packed(x: &[f32], g: &ConvGeometry, batch: usize, packed: &mut [f32]) {
+    let (oh, ow, pl) = (g.out_h(), g.out_w(), g.patch_len());
+    let pixels = oh * ow;
+    let np = batch * pixels;
+    let panels = np.div_ceil(NR);
+    let kk2 = g.k * g.k;
+    let ihw = g.in_h * g.in_w;
+    let sample = g.in_c * ihw;
+    debug_assert_eq!(x.len(), batch * sample);
+    assert_eq!(packed.len(), panels * pl * NR, "packed buffer size");
+    for p in 0..panels {
+        let dst_panel = &mut packed[p * pl * NR..(p + 1) * pl * NR];
+        let g0 = p * NR;
+        let cols = NR.min(np - g0);
+        // Zero the pad columns of the last panel (buffers may be dirty).
+        if cols < NR {
+            for kkp in 0..pl {
+                dst_panel[kkp * NR + cols..(kkp + 1) * NR].fill(0.0);
+            }
+        }
+        // Walk runs of pixels sharing one output row: one div/mod per run
+        // instead of per element, and contiguous source rows inside.
+        let mut j0 = 0;
+        while j0 < cols {
+            let gidx = g0 + j0;
+            let s = gidx / pixels;
+            let local = gidx - s * pixels;
+            let oy = local / ow;
+            let ox0 = local - oy * ow;
+            let run = (ow - ox0).min(cols - j0);
+            let xs = &x[s * sample..(s + 1) * sample];
+            for c in 0..g.in_c {
+                let chan = &xs[c * ihw..(c + 1) * ihw];
+                for ky in 0..g.k {
+                    let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                    let kbase = c * kk2 + ky * g.k;
+                    if iy < 0 || iy as usize >= g.in_h {
+                        for kx in 0..g.k {
+                            dst_panel[(kbase + kx) * NR + j0..(kbase + kx) * NR + j0 + run]
+                                .fill(0.0);
+                        }
+                        continue;
+                    }
+                    let row = &chan[iy as usize * g.in_w..(iy as usize + 1) * g.in_w];
+                    for kx in 0..g.k {
+                        let dst =
+                            &mut dst_panel[(kbase + kx) * NR + j0..(kbase + kx) * NR + j0 + run];
+                        if g.stride == 1 {
+                            // dst[dj] reads input column ix0 + dj; clip the
+                            // padding edges, copy the interior in one go.
+                            let ix0 = (ox0 + kx) as isize - g.pad as isize;
+                            let lo = ((-ix0).max(0) as usize).min(run);
+                            let hi = ((g.in_w as isize - ix0).max(0) as usize).min(run);
+                            dst[..lo].fill(0.0);
+                            if hi > lo {
+                                dst[lo..hi].copy_from_slice(
+                                    &row[(ix0 + lo as isize) as usize
+                                        ..(ix0 + hi as isize) as usize],
+                                );
+                            }
+                            let tail = hi.max(lo);
+                            dst[tail..].fill(0.0);
+                        } else {
+                            for (dj, d) in dst.iter_mut().enumerate() {
+                                let ix = ((ox0 + dj) * g.stride + kx) as isize - g.pad as isize;
+                                *d = if ix >= 0 && (ix as usize) < g.in_w {
+                                    row[ix as usize]
+                                } else {
+                                    0.0
+                                };
+                            }
+                        }
+                    }
+                }
+            }
+            j0 += run;
         }
     }
 }
@@ -172,6 +282,9 @@ fn col2im(dcol: &[f32], g: &ConvGeometry, out: &mut [f32]) {
 /// (flattened `[out_c, in_c, k, k]`), `bias` is `[out_c]`. Returns
 /// `[N, out_c, out_h, out_w]`.
 ///
+/// Allocates private scratch; hot paths should use
+/// [`conv2d_forward_ws`].
+///
 /// # Errors
 ///
 /// Returns [`ShapeError`] if any operand disagrees with `geom`.
@@ -182,27 +295,85 @@ pub fn conv2d_forward(
     geom: &ConvGeometry,
     red: &mut Reducer,
 ) -> Result<Tensor, ShapeError> {
+    conv2d_forward_ws(input, weights, bias, geom, red, 1, &mut Workspace::new())
+}
+
+/// Forward 2-D convolution on the blocked engine, reusing `ws` scratch
+/// and running output row bands on up to `threads` threads.
+///
+/// Bit-identical to [`conv2d_forward`] for every reducer configuration
+/// and thread count: per sample, the output `[out_c, pixels]` block is
+/// one GEMM whose row-major output order matches the reference
+/// channel-major `(o, p)` loop, so [`Reducer::plan_dots`] consumes the
+/// scheduler RNG in exactly the reference order.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if any operand disagrees with `geom`.
+pub fn conv2d_forward_ws(
+    input: &Tensor,
+    weights: &Tensor,
+    bias: &Tensor,
+    geom: &ConvGeometry,
+    red: &mut Reducer,
+    threads: usize,
+    ws: &mut Workspace,
+) -> Result<Tensor, ShapeError> {
     validate(input, weights, bias, geom)?;
     let n = input.shape().dim(0);
     let (oh, ow, oc, pl) = (geom.out_h(), geom.out_w(), geom.out_c, geom.patch_len());
     let pixels = oh * ow;
     let mut out = Tensor::zeros(Shape::of(&[n, oc, oh, ow]));
-    let mut col = vec![0f32; pixels * pl];
     let xin = input.as_slice();
     let wv = weights.as_slice();
     let bv = bias.as_slice();
     let ov = out.as_mut_slice();
     let sample = geom.in_c * geom.in_h * geom.in_w;
-    for s in 0..n {
-        im2col(&xin[s * sample..(s + 1) * sample], geom, &mut col);
-        let obase = s * oc * pixels;
-        for o in 0..oc {
-            let wrow = &wv[o * pl..(o + 1) * pl];
-            for p in 0..pixels {
-                let patch = &col[p * pl..(p + 1) * pl];
-                ov[obase + o * pixels + p] = red.dot(wrow, patch) + bv[o];
+    if red.order() == ReduceOrder::Permuted {
+        // The reference draws each sample's permutation specs before the
+        // next sample's, so Permuted keeps one plan (and one GEMM) per
+        // sample.
+        let mut packed = ws.take_scratch(pixels.div_ceil(NR) * pl * NR);
+        for s in 0..n {
+            im2col_packed(&xin[s * sample..(s + 1) * sample], geom, 1, &mut packed);
+            let plan = red.plan_dots(oc * pixels, pl);
+            let oblock = &mut ov[s * oc * pixels..(s + 1) * oc * pixels];
+            gemm_packed_planned(wv, &packed, oc, pixels, pl, &plan, threads, oblock);
+            // Bias after the dot: `dot + b` exactly as the reference
+            // computes.
+            for o in 0..oc {
+                let b = bv[o];
+                for v in &mut oblock[o * pixels..(o + 1) * pixels] {
+                    *v += b;
+                }
             }
         }
+        ws.recycle(packed);
+    } else {
+        // Sequential and FixedTree dots never consult the scheduler RNG,
+        // so every per-sample GEMM can fuse into one batch-wide GEMM over
+        // n·pixels output columns — each output's chain is unchanged, the
+        // outputs are merely computed in a different order.
+        let np = n * pixels;
+        let mut packed = ws.take_scratch(np.div_ceil(NR) * pl * NR);
+        im2col_packed(xin, geom, n, &mut packed);
+        let plan = red.plan_dots(oc * np, pl);
+        let mut out_r = ws.take_scratch(oc * np);
+        gemm_packed_planned(wv, &packed, oc, np, pl, &plan, threads, &mut out_r);
+        // Scatter [oc, n·pixels] back to [n, oc, pixels], adding the bias
+        // after the dot exactly as the reference computes.
+        for s in 0..n {
+            for o in 0..oc {
+                let b = bv[o];
+                let src = &out_r[o * np + s * pixels..o * np + (s + 1) * pixels];
+                let dst = &mut ov[(s * oc + o) * pixels..(s * oc + o + 1) * pixels];
+                for (d, &v) in dst.iter_mut().zip(src) {
+                    *d = v + b;
+                }
+            }
+        }
+        ws.recycle(out_r);
+        ws.recycle(packed);
     }
     Ok(out)
 }
@@ -214,6 +385,9 @@ pub fn conv2d_forward(
 /// cross-data-point reduction whose accumulation order the paper identifies
 /// as a latent implementation-noise source.
 ///
+/// Allocates private scratch; hot paths should use
+/// [`conv2d_backward_ws`].
+///
 /// # Errors
 ///
 /// Returns [`ShapeError`] if any operand disagrees with `geom`.
@@ -223,6 +397,32 @@ pub fn conv2d_backward(
     dy: &Tensor,
     geom: &ConvGeometry,
     red: &mut Reducer,
+) -> Result<Conv2dGrads, ShapeError> {
+    conv2d_backward_ws(input, weights, dy, geom, red, 1, &mut Workspace::new())
+}
+
+/// Backward 2-D convolution on the blocked engine. See
+/// [`conv2d_backward`] for the math and [`conv2d_forward_ws`] for the
+/// engine/workspace contract.
+///
+/// The reducer call order of the reference path is preserved exactly:
+/// first the dW matmul's `out_c × patch_len` planned dots over the
+/// all-batch inner dimension, then `out_c` bias-gradient sums. The input
+/// gradient never touched the reducer in the reference path (it uses a
+/// fixed `channel % lanes` assignment combined left-to-right), so it runs
+/// under a stateless [`DotPlan::fixed_lanes`] plan.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if any operand disagrees with `geom`.
+pub fn conv2d_backward_ws(
+    input: &Tensor,
+    weights: &Tensor,
+    dy: &Tensor,
+    geom: &ConvGeometry,
+    red: &mut Reducer,
+    threads: usize,
+    ws: &mut Workspace,
 ) -> Result<Conv2dGrads, ShapeError> {
     let bias = Tensor::zeros(Shape::of(&[geom.out_c]));
     validate(input, weights, &bias, geom)?;
@@ -243,7 +443,7 @@ pub fn conv2d_backward(
     let np = n * pixels;
 
     // --- all-batch im2col: [N*pixels, patch_len] ---
-    let mut col_all = vec![0f32; np * pl];
+    let mut col_all = ws.take_scratch(np * pl);
     for s in 0..n {
         im2col(
             &xin[s * sample..(s + 1) * sample],
@@ -254,52 +454,83 @@ pub fn conv2d_backward(
 
     // --- dW = dYr [oc, N*pixels] × col_all [N*pixels, pl] ---
     // Rearrange dy from [N, oc, pixels] to [oc, N*pixels].
-    let mut dy_r = vec![0f32; oc * np];
+    let mut dy_r = ws.take_scratch(oc * np);
     for s in 0..n {
         for o in 0..oc {
             let src = &dyv[(s * oc + o) * pixels..(s * oc + o + 1) * pixels];
             dy_r[o * np + s * pixels..o * np + (s + 1) * pixels].copy_from_slice(src);
         }
     }
-    let dy_rt = Tensor::from_vec(Shape::of(&[oc, np]), dy_r).expect("internal shape");
-    let col_t = Tensor::from_vec(Shape::of(&[np, pl]), col_all).expect("internal shape");
-    let dw = matmul(&dy_rt, &col_t, red)?;
+    let mut col_packed = ws.take_scratch(pl.div_ceil(NR) * np * NR);
+    pack_b_panels(&col_all, np, pl, &mut col_packed);
+    let mut dw = Tensor::zeros(Shape::of(&[oc, pl]));
+    let plan = red.plan_dots(oc * pl, np);
+    gemm_packed_planned(
+        &dy_r,
+        &col_packed,
+        oc,
+        pl,
+        np,
+        &plan,
+        threads,
+        dw.as_mut_slice(),
+    );
+    ws.recycle(col_all);
+    ws.recycle(col_packed);
 
     // --- db[o] = Σ_{s,p} dy[s,o,p] (cross-batch reduction) ---
     let mut db = Tensor::zeros(Shape::of(&[oc]));
     {
         let dbv = db.as_mut_slice();
-        let dyr = dy_rt.as_slice();
         for o in 0..oc {
-            dbv[o] = red.sum(&dyr[o * np..(o + 1) * np]);
+            dbv[o] = red.sum(&dy_r[o * np..(o + 1) * np]);
         }
     }
+    ws.recycle(dy_r);
 
     // --- dX: per-sample dcolT = dY_sᵀ [pixels, oc] × W [oc, pl], then col2im ---
+    // The reference combines channels with a fixed `o % lc` lane assignment
+    // and a left-to-right lane sum, never consulting the reducer's RNG; a
+    // stateless fixed-lane plan reproduces that bit-for-bit.
+    let lc = red.lanes().min(oc.max(1));
+    let dx_plan = DotPlan::fixed_lanes(lc);
     let mut dx = Tensor::zeros(input.shape());
     let dxv = dx.as_mut_slice();
-    let mut dyt = vec![0f32; pixels * oc];
-    let mut dcol = vec![0f32; pixels * pl];
+    // The plan is stateless (fixed lane assignment, no per-output draws),
+    // so all samples fuse into one [n·pixels, patch_len] GEMM; `W` is
+    // already in the engine's `[k, n]` layout and packs transpose-free.
+    let mut dyt_all = ws.take_scratch(np * oc);
     for s in 0..n {
         for o in 0..oc {
-            for p in 0..pixels {
-                dyt[p * oc + o] = dyv[(s * oc + o) * pixels + p];
+            let src = &dyv[(s * oc + o) * pixels..(s * oc + o + 1) * pixels];
+            for (p, &v) in src.iter().enumerate() {
+                dyt_all[(s * pixels + p) * oc + o] = v;
             }
         }
-        for p in 0..pixels {
-            let dyrow = &dyt[p * oc..(p + 1) * oc];
-            for j in 0..pl {
-                // dcol[p, j] = Σ_o dy[p, o] * w[o, j] — strided over w.
-                let mut lane = [0f32; crate::reduce::MAX_LANES];
-                let lc = red.lanes().min(oc.max(1));
-                for o in 0..oc {
-                    lane[o % lc] += dyrow[o] * wv[o * pl + j];
-                }
-                dcol[p * pl + j] = crate::reduce::sum_ordered_f32(lane[..lc].iter().copied());
-            }
-        }
-        col2im(&dcol, geom, &mut dxv[s * sample..(s + 1) * sample]);
     }
+    let mut w_packed = ws.take_scratch(pl.div_ceil(NR) * oc * NR);
+    pack_b_panels(wv, oc, pl, &mut w_packed);
+    let mut dcol_all = ws.take_scratch(np * pl);
+    gemm_packed_planned(
+        &dyt_all,
+        &w_packed,
+        np,
+        pl,
+        oc,
+        &dx_plan,
+        threads,
+        &mut dcol_all,
+    );
+    for s in 0..n {
+        col2im(
+            &dcol_all[s * pixels * pl..(s + 1) * pixels * pl],
+            geom,
+            &mut dxv[s * sample..(s + 1) * sample],
+        );
+    }
+    ws.recycle(dyt_all);
+    ws.recycle(w_packed);
+    ws.recycle(dcol_all);
 
     Ok(Conv2dGrads { dx, dw, db })
 }
@@ -349,6 +580,7 @@ fn validate(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reduce::ReduceOrder;
 
     /// Direct (quadruple-loop) reference convolution in f64.
     fn reference_conv(x: &Tensor, w: &Tensor, b: &Tensor, g: &ConvGeometry) -> Vec<f64> {
@@ -420,6 +652,38 @@ mod tests {
             let r = reference_conv(&x, &w, &b, &g);
             for (a, e) in y.as_slice().iter().zip(&r) {
                 assert!((*a as f64 - e).abs() < 1e-4, "k={k}: {a} vs {e}");
+            }
+        }
+    }
+
+    #[test]
+    // Bit-identity across workspaces/threads is the property under test.
+    #[allow(clippy::float_cmp)]
+    fn ws_variants_bit_identical_across_threads_and_reuse() {
+        let g = ConvGeometry::new(2, 5, 3, 1, 1, 6, 6);
+        let (x, w, b) = setup(&g, 3);
+        for order in [
+            ReduceOrder::Sequential,
+            ReduceOrder::FixedTree,
+            ReduceOrder::Permuted,
+        ] {
+            let base = Reducer::new(order, 40, 9).with_amplification(1e3);
+            let y0 = conv2d_forward(&x, &w, &b, &g, &mut base.clone()).unwrap();
+            let mut dy = y0.clone();
+            dy.scale(0.5);
+            let g0 = conv2d_backward(&x, &w, &dy, &g, &mut base.clone()).unwrap();
+            let mut ws = Workspace::new();
+            for threads in [1, 3] {
+                // Reuse the same workspace across iterations: recycled
+                // (dirty) buffers must not leak into results.
+                let y =
+                    conv2d_forward_ws(&x, &w, &b, &g, &mut base.clone(), threads, &mut ws).unwrap();
+                assert_eq!(y.as_slice(), y0.as_slice(), "{order:?} fwd t={threads}");
+                let gr = conv2d_backward_ws(&x, &w, &dy, &g, &mut base.clone(), threads, &mut ws)
+                    .unwrap();
+                assert_eq!(gr.dx.as_slice(), g0.dx.as_slice(), "{order:?} dx");
+                assert_eq!(gr.dw.as_slice(), g0.dw.as_slice(), "{order:?} dw");
+                assert_eq!(gr.db.as_slice(), g0.db.as_slice(), "{order:?} db");
             }
         }
     }

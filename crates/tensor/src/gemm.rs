@@ -1,0 +1,643 @@
+//! Cache-blocked, packed GEMM engine that is bit-identical to the
+//! per-element reference path in [`crate::linalg`] for every
+//! [`ReduceOrder`].
+//!
+//! # Why a blocked engine can be bit-identical at all
+//!
+//! Floating-point addition is not associative, so a conventional blocked
+//! GEMM (which tiles the *k* dimension and combines per-tile partials)
+//! would change every output's accumulation order and therefore its bits.
+//! This engine never does that. The invariant is:
+//!
+//! > **Blocking may reorder *which outputs* are computed when; it must
+//! > never reorder the k-dimension combine chain *inside* one output.**
+//!
+//! Each output element's reduction is executed exactly as
+//! [`Reducer::dot`] would execute it — a single left-to-right chain for
+//! [`ReduceOrder::Sequential`], the `e % lanes` lane fill plus fixed
+//! index-order combine for [`ReduceOrder::FixedTree`], and the same lane
+//! fill plus the scheduler-drawn permutation for
+//! [`ReduceOrder::Permuted`]. The speed comes from vectorizing *across*
+//! outputs: the micro-kernel advances [`NR`] independent accumulation
+//! chains (one per output column) with each pass over k, which the
+//! auto-vectorizer turns into wide FMAs without touching any single
+//! chain's order.
+//!
+//! The remaining subtlety is the scheduler RNG: the reference path draws
+//! permutations interleaved with compute, one output at a time in
+//! row-major order. [`Reducer::plan_dots`] pre-draws all of them in that
+//! exact order into a [`DotPlan`] *before* the engine runs, so tiles and
+//! threads are free to race over outputs while the reducer ends the GEMM
+//! in precisely the state `m·n` sequential `dot` calls would have left
+//! it. That makes the engine bit-invariant in the thread count by
+//! construction.
+//!
+//! [`ReduceOrder`]: crate::reduce::ReduceOrder
+//! [`Reducer::dot`]: crate::reduce::Reducer::dot
+//! [`Reducer::plan_dots`]: crate::reduce::Reducer::plan_dots
+
+use crate::error::ShapeError;
+use crate::pack::{pack_b_panels, pack_bt_panels, transpose_into, MR, NR};
+use crate::reduce::{DotPlan, ReduceOrder, Reducer, MAX_LANES};
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use crate::workspace::Workspace;
+
+/// Computes `C = A × B` through the blocked engine.
+///
+/// Bit-identical to [`crate::linalg::matmul`] for any reducer state, but
+/// uses `ws` for scratch and runs row bands on up to `threads` threads.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if the operands are not rank 2 or the inner
+/// dimensions disagree.
+pub fn matmul_ws(
+    a: &Tensor,
+    b: &Tensor,
+    red: &mut Reducer,
+    threads: usize,
+    ws: &mut Workspace,
+) -> Result<Tensor, ShapeError> {
+    check_rank2("matmul", a, b)?;
+    let (m, ka) = (a.shape().dim(0), a.shape().dim(1));
+    let (kb, n) = (b.shape().dim(0), b.shape().dim(1));
+    if ka != kb {
+        return Err(ShapeError::mismatch("matmul", &a.shape(), &b.shape()));
+    }
+    let plan = red.plan_dots(m * n, ka);
+    let mut out = Tensor::zeros(Shape::of(&[m, n]));
+    if m != 0 && n != 0 {
+        let mut packed = ws.take_scratch(n.div_ceil(NR) * ka * NR);
+        pack_b_panels(b.as_slice(), kb, n, &mut packed);
+        gemm_packed_planned(
+            a.as_slice(),
+            &packed,
+            m,
+            n,
+            ka,
+            &plan,
+            threads,
+            out.as_mut_slice(),
+        );
+        ws.recycle(packed);
+    }
+    Ok(out)
+}
+
+/// Computes `C = Aᵀ × B` through the blocked engine.
+///
+/// Bit-identical to [`crate::linalg::matmul_at_b`].
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if the operands are not rank 2 or `A`'s rows do
+/// not match `B`'s rows.
+pub fn matmul_at_b_ws(
+    a: &Tensor,
+    b: &Tensor,
+    red: &mut Reducer,
+    threads: usize,
+    ws: &mut Workspace,
+) -> Result<Tensor, ShapeError> {
+    check_rank2("matmul_at_b", a, b)?;
+    let (ka, m) = (a.shape().dim(0), a.shape().dim(1));
+    let (kb, n) = (b.shape().dim(0), b.shape().dim(1));
+    if ka != kb {
+        return Err(ShapeError::mismatch("matmul_at_b", &a.shape(), &b.shape()));
+    }
+    let plan = red.plan_dots(m * n, ka);
+    let mut out = Tensor::zeros(Shape::of(&[m, n]));
+    if m != 0 && n != 0 {
+        let mut at = ws.take_scratch(m * ka);
+        transpose_into(a.as_slice(), ka, m, &mut at);
+        let mut packed = ws.take_scratch(n.div_ceil(NR) * kb * NR);
+        pack_b_panels(b.as_slice(), kb, n, &mut packed);
+        gemm_packed_planned(&at, &packed, m, n, ka, &plan, threads, out.as_mut_slice());
+        ws.recycle(at);
+        ws.recycle(packed);
+    }
+    Ok(out)
+}
+
+/// Computes `C = A × Bᵀ` through the blocked engine.
+///
+/// Bit-identical to [`crate::linalg::matmul_a_bt`]. This is the engine's
+/// native operand layout (`B`'s rows are already the output columns), so
+/// no transpose scratch is needed.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if the operands are not rank 2 or the column
+/// counts disagree.
+pub fn matmul_a_bt_ws(
+    a: &Tensor,
+    b: &Tensor,
+    red: &mut Reducer,
+    threads: usize,
+    ws: &mut Workspace,
+) -> Result<Tensor, ShapeError> {
+    check_rank2("matmul_a_bt", a, b)?;
+    let (m, ka) = (a.shape().dim(0), a.shape().dim(1));
+    let (n, kb) = (b.shape().dim(0), b.shape().dim(1));
+    if ka != kb {
+        return Err(ShapeError::mismatch("matmul_a_bt", &a.shape(), &b.shape()));
+    }
+    let plan = red.plan_dots(m * n, ka);
+    let mut out = Tensor::zeros(Shape::of(&[m, n]));
+    gemm_bt_planned(
+        a.as_slice(),
+        b.as_slice(),
+        m,
+        n,
+        ka,
+        &plan,
+        threads,
+        ws,
+        out.as_mut_slice(),
+    );
+    Ok(out)
+}
+
+/// The engine core: `out[i, j] = plan-ordered reduction of
+/// Σ_kk a[i, kk] · bt[j, kk]`.
+///
+/// `a` is row-major `[m, k]`; `bt` is row-major `[n, k]` (each row one
+/// output column); `out` is row-major `[m, n]`. The `plan` must have been
+/// drawn for exactly `m * n` outputs of length `k` (or be a
+/// [`DotPlan::fixed_lanes`] plan, which has no per-output state). Rows
+/// are split into contiguous bands across up to `threads` threads; the
+/// result is bitwise independent of `threads` because all per-output
+/// combine state lives in `plan`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_bt_planned(
+    a: &[f32],
+    bt: &[f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    plan: &DotPlan,
+    threads: usize,
+    ws: &mut Workspace,
+    out: &mut [f32],
+) {
+    assert_eq!(bt.len(), n * k, "gemm Bt size");
+    assert_eq!(out.len(), m * n, "gemm out size");
+    if m == 0 || n == 0 {
+        return;
+    }
+    let mut packed = ws.take_scratch(n.div_ceil(NR) * k * NR);
+    pack_bt_panels(bt, n, k, &mut packed);
+    gemm_packed_planned(a, &packed, m, n, k, plan, threads, out);
+    ws.recycle(packed);
+}
+
+/// The engine core on an already-packed B operand (see
+/// [`pack_b_panels`] / [`pack_bt_panels`] for the panel layout): callers
+/// that produce panels directly — the conv lowering writes im2col output
+/// straight into panel form — skip the intermediate `[n, k]` buffer
+/// entirely.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_packed_planned(
+    a: &[f32],
+    packed: &[f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    plan: &DotPlan,
+    threads: usize,
+    out: &mut [f32],
+) {
+    assert_eq!(a.len(), m * k, "gemm A size");
+    assert_eq!(packed.len(), n.div_ceil(NR) * k * NR, "gemm packed size");
+    assert_eq!(out.len(), m * n, "gemm out size");
+    if plan.order == ReduceOrder::Permuted {
+        assert_eq!(plan.specs.len(), m * n, "plan drawn for a different GEMM");
+    }
+    if m == 0 || n == 0 {
+        return;
+    }
+
+    let threads_eff = threads.max(1).min(m);
+    if threads_eff == 1 {
+        run_band(a, packed, plan, n, k, 0, out);
+    } else {
+        let band_rows = m.div_ceil(threads_eff);
+        std::thread::scope(|scope| {
+            for (band_idx, band) in out.chunks_mut(band_rows * n).enumerate() {
+                let row0 = band_idx * band_rows;
+                scope.spawn(move || {
+                    run_band(a, packed, plan, n, k, row0, band);
+                });
+            }
+        });
+    }
+}
+
+/// Computes one contiguous row band `[row0 .. row0 + band.len() / n)` of
+/// the output.
+fn run_band(
+    a: &[f32],
+    packed: &[f32],
+    plan: &DotPlan,
+    n: usize,
+    k: usize,
+    row0: usize,
+    band: &mut [f32],
+) {
+    let rows = band.len() / n;
+    match plan.order {
+        ReduceOrder::Sequential => band_sequential(a, packed, n, k, row0, rows, band),
+        // A single lane *is* one left-to-right chain: the lane fill puts
+        // every element in lane 0 in increasing-k order and the combine
+        // reads it back, so the fast sequential kernel computes the same
+        // bits. Permuted adds only the per-output amplification scale
+        // (its draws are 0 when lanes == 1).
+        ReduceOrder::FixedTree if plan.lanes == 1 => {
+            band_sequential(a, packed, n, k, row0, rows, band)
+        }
+        ReduceOrder::Permuted if plan.lanes == 1 => {
+            band_sequential(a, packed, n, k, row0, rows, band);
+            if plan.amplified {
+                for (i, o) in band.iter_mut().enumerate() {
+                    *o *= plan.specs[row0 * n + i].scale;
+                }
+            }
+        }
+        ReduceOrder::FixedTree => band_fixed_tree(a, packed, plan.lanes, n, k, row0, rows, band),
+        ReduceOrder::Permuted => band_permuted(a, packed, plan, n, k, row0, rows, band),
+    }
+}
+
+/// Reads the `NR`-wide panel row at depth `kk` as a fixed-size array so
+/// the optimizer sees compile-time trip counts (no bounds checks, clean
+/// vector code).
+#[inline(always)]
+fn panel_row(panel: &[f32], kk: usize) -> &[f32; NR] {
+    panel[kk * NR..kk * NR + NR]
+        .try_into()
+        .expect("panel row is NR wide")
+}
+
+/// Sequential micro-kernel: an `MR × NR` register tile of *independent*
+/// single-chain accumulators. Each output's chain is
+/// `acc += a[i, kk] · b[kk, j]` for `kk = 0..k` — the identical
+/// left-to-right chain [`Reducer::dot`] runs — while the `NR`-wide inner
+/// loop and `MR` parallel rows give the CPU wide FMAs and ILP.
+fn band_sequential(
+    a: &[f32],
+    packed: &[f32],
+    n: usize,
+    k: usize,
+    row0: usize,
+    rows: usize,
+    band: &mut [f32],
+) {
+    let panels = n.div_ceil(NR);
+    for p in 0..panels {
+        let panel = &packed[p * k * NR..(p + 1) * k * NR];
+        let col0 = p * NR;
+        let cols = NR.min(n - col0);
+        let mut i = 0;
+        while i < rows {
+            let rm = MR.min(rows - i);
+            let arows = tile_rows(a, k, row0 + i, rm);
+            let mut acc = [[0f32; NR]; MR];
+            // The r loop always runs all MR rows (remainder tiles repeat
+            // the last real row and discard the duplicates below) so the
+            // inner loops have fixed trip counts — no bounds checks, clean
+            // vector code.
+            #[allow(clippy::needless_range_loop)] // kk walks panel and arows in lockstep
+            for kk in 0..k {
+                let pr = panel_row(panel, kk);
+                for r in 0..MR {
+                    let av = arows[r][kk];
+                    for j in 0..NR {
+                        acc[r][j] += av * pr[j];
+                    }
+                }
+            }
+            for r in 0..rm {
+                let orow = &mut band[(i + r) * n + col0..(i + r) * n + col0 + cols];
+                orow.copy_from_slice(&acc[r][..cols]);
+            }
+            i += rm;
+        }
+    }
+}
+
+/// The `MR` A-row slices of one register tile, with remainder tiles
+/// clamped to the last real row (the kernels compute the duplicate rows
+/// and discard them — cheaper than a variable trip count in the hot
+/// loop).
+#[inline(always)]
+fn tile_rows(a: &[f32], k: usize, first: usize, rm: usize) -> [&[f32]; MR] {
+    core::array::from_fn(|r| {
+        let row = first + r.min(rm - 1);
+        &a[row * k..row * k + k]
+    })
+}
+
+/// Computes the lane-partial vectors of one `rm × NR` tile, one lane at a
+/// time, entirely in registers, invoking `sink(r, lane_partials)` for each
+/// lane in **increasing lane order**.
+///
+/// Lane `dl` owns the k indices `dl, dl + l, dl + 2l, …` — the same
+/// assignment as the reference `p[e % l] += a[e] · b[e]` fill — and its
+/// chain is accumulated in increasing-k order, so each invocation hands
+/// the sink the exact reference lane partial. Looping lanes outermost
+/// (instead of materializing an `l × NR` buffer) keeps every accumulator
+/// in registers: the k-strided walks stay inside one row of `a` (≤ a few
+/// KiB) and one packed panel, both L1-resident.
+#[inline(always)]
+fn for_each_lane_partial(
+    arows: &[&[f32]; MR],
+    panel: &[f32],
+    l: usize,
+    k: usize,
+    rm: usize,
+    mut sink: impl FnMut(usize, usize, &[f32; NR]),
+) {
+    for dl in 0..l {
+        let mut lane = [[0f32; NR]; MR];
+        let mut kk = dl;
+        while kk < k {
+            let pr = panel_row(panel, kk);
+            for r in 0..MR {
+                let av = arows[r][kk];
+                for j in 0..NR {
+                    lane[r][j] += av * pr[j];
+                }
+            }
+            kk += l;
+        }
+        for (r, partial) in lane.iter().enumerate().take(rm) {
+            sink(r, dl, partial);
+        }
+    }
+}
+
+/// [`ReduceOrder::FixedTree`] micro-kernel: no lane buffer at all. The
+/// running sum starts at 0.0 and folds each lane partial in increasing
+/// lane order — bit-identical to the reference
+/// `p[..l].iter().sum::<f32>()` — with all `NR` output columns advancing
+/// together so the combine vectorizes across columns.
+#[allow(clippy::too_many_arguments)]
+fn band_fixed_tree(
+    a: &[f32],
+    packed: &[f32],
+    l: usize,
+    n: usize,
+    k: usize,
+    row0: usize,
+    rows: usize,
+    band: &mut [f32],
+) {
+    let panels = n.div_ceil(NR);
+    for p in 0..panels {
+        let panel = &packed[p * k * NR..(p + 1) * k * NR];
+        let col0 = p * NR;
+        let cols = NR.min(n - col0);
+        let mut i = 0;
+        while i < rows {
+            let rm = MR.min(rows - i);
+            let arows = tile_rows(a, k, row0 + i, rm);
+            let mut s = [[0f32; NR]; MR];
+            for_each_lane_partial(&arows, panel, l, k, rm, |r, _dl, partial| {
+                for j in 0..NR {
+                    s[r][j] += partial[j];
+                }
+            });
+            for r in 0..rm {
+                let orow = &mut band[(i + r) * n + col0..(i + r) * n + col0 + cols];
+                orow.copy_from_slice(&s[r][..cols]);
+            }
+            i += rm;
+        }
+    }
+}
+
+/// [`ReduceOrder::Permuted`] micro-kernel: lane partials are computed in
+/// registers (one store per lane, never load-modify-store), then each
+/// output column combines its lane column under the pre-drawn
+/// [`PermuteSpec`](crate::reduce::PermuteSpec) for that output — the two
+/// transpositions, the rotated left-to-right sum, and (when the plan is
+/// amplified) the scheduler-drawn scale.
+#[allow(clippy::too_many_arguments)]
+fn band_permuted(
+    a: &[f32],
+    packed: &[f32],
+    plan: &DotPlan,
+    n: usize,
+    k: usize,
+    row0: usize,
+    rows: usize,
+    band: &mut [f32],
+) {
+    let l = plan.lanes;
+    let panels = n.div_ceil(NR);
+    // `MR × l × NR` lane partials (row-major, lane-major within a row) —
+    // ≤ 8 KiB, L1-resident. Written exactly once per tile, so no zeroing.
+    let mut lanebuf = vec![0f32; MR * l * NR];
+    for p in 0..panels {
+        let panel = &packed[p * k * NR..(p + 1) * k * NR];
+        let col0 = p * NR;
+        let cols = NR.min(n - col0);
+        let mut i = 0;
+        while i < rows {
+            let rm = MR.min(rows - i);
+            let arows = tile_rows(a, k, row0 + i, rm);
+            {
+                let lanebuf = &mut lanebuf;
+                for_each_lane_partial(&arows, panel, l, k, rm, |r, dl, partial| {
+                    lanebuf[(r * l + dl) * NR..(r * l + dl) * NR + NR].copy_from_slice(partial);
+                });
+            }
+            for r in 0..rm {
+                let lanes_r = &lanebuf[r * l * NR..(r + 1) * l * NR];
+                let orow = &mut band[(i + r) * n + col0..(i + r) * n + col0 + cols];
+                for (j, o) in orow.iter_mut().enumerate() {
+                    let spec = &plan.specs[(row0 + i + r) * n + col0 + j];
+                    let mut tmp = [0f32; MAX_LANES];
+                    for lane in 0..l {
+                        tmp[lane] = lanes_r[lane * NR + j];
+                    }
+                    let part = &mut tmp[..l];
+                    part.swap(0, spec.j1 as usize);
+                    part.swap(1.min(l - 1), spec.j2 as usize);
+                    // Rotated read order (rot, …, l-1, 0, …, rot-1)
+                    // without a per-element modulo.
+                    let rot = spec.rot as usize;
+                    let mut s = 0f32;
+                    for &v in &part[rot..] {
+                        s += v;
+                    }
+                    for &v in &part[..rot] {
+                        s += v;
+                    }
+                    if plan.amplified {
+                        s *= spec.scale;
+                    }
+                    *o = s;
+                }
+            }
+            i += rm;
+        }
+    }
+}
+
+fn check_rank2(op: &'static str, a: &Tensor, b: &Tensor) -> Result<(), ShapeError> {
+    if a.shape().rank() != 2 || b.shape().rank() != 2 {
+        return Err(ShapeError::new(
+            op,
+            format!(
+                "expected rank-2 operands, got {} and {}",
+                a.shape(),
+                b.shape()
+            ),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+// Bit-identity to the reference path is the property under test.
+#[allow(clippy::float_cmp)]
+mod tests {
+    use super::*;
+    use crate::linalg::{matmul_a_bt_reference, matmul_at_b_reference, matmul_reference};
+
+    fn filled(rows: usize, cols: usize, salt: u64) -> Tensor {
+        let mut seed = salt.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        let data = (0..rows * cols)
+            .map(|_| {
+                seed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((seed >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+            })
+            .collect();
+        Tensor::from_vec(Shape::of(&[rows, cols]), data).unwrap()
+    }
+
+    fn reducers() -> Vec<Reducer> {
+        let mut v = Vec::new();
+        for order in [
+            ReduceOrder::Sequential,
+            ReduceOrder::FixedTree,
+            ReduceOrder::Permuted,
+        ] {
+            for lanes in [1, 3, 40, MAX_LANES] {
+                v.push(Reducer::new(order, lanes, 77));
+                v.push(Reducer::new(order, lanes, 77).with_amplification(1e4));
+            }
+        }
+        v
+    }
+
+    fn assert_bits_eq(fast: &Tensor, reference: &Tensor, what: &str) {
+        assert_eq!(fast.shape(), reference.shape(), "{what}: shape");
+        for (idx, (x, y)) in fast.as_slice().iter().zip(reference.as_slice()).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{what}: element {idx}: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_bit_identical_to_reference_all_orders() {
+        for (m, k, n) in [(1, 1, 1), (3, 5, 2), (7, 129, 9), (16, 40, 24)] {
+            let a = filled(m, k, 1);
+            let b = filled(k, n, 2);
+            for red in reducers() {
+                let mut fast_red = red.clone();
+                let mut ref_red = red.clone();
+                let mut ws = Workspace::new();
+                let fast = matmul_ws(&a, &b, &mut fast_red, 1, &mut ws).unwrap();
+                let reference = matmul_reference(&a, &b, &mut ref_red).unwrap();
+                assert_bits_eq(&fast, &reference, "matmul");
+                // Reducer state must also be in sync (same RNG position,
+                // same invocation count) for the *next* op to agree.
+                assert_eq!(fast_red.invocations(), ref_red.invocations());
+                let probe = filled(1, k.max(1), 3);
+                assert_eq!(
+                    fast_red.dot(probe.as_slice(), probe.as_slice()).to_bits(),
+                    ref_red.dot(probe.as_slice(), probe.as_slice()).to_bits(),
+                    "reducer RNG state diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn at_b_and_a_bt_bit_identical_to_reference() {
+        let (m, k, n) = (6, 33, 10);
+        for red in reducers() {
+            let mut ws = Workspace::new();
+            let a = filled(k, m, 4);
+            let b = filled(k, n, 5);
+            let fast = matmul_at_b_ws(&a, &b, &mut red.clone(), 2, &mut ws).unwrap();
+            let reference = matmul_at_b_reference(&a, &b, &mut red.clone()).unwrap();
+            assert_bits_eq(&fast, &reference, "matmul_at_b");
+
+            let a = filled(m, k, 6);
+            let b = filled(n, k, 7);
+            let fast = matmul_a_bt_ws(&a, &b, &mut red.clone(), 2, &mut ws).unwrap();
+            let reference = matmul_a_bt_reference(&a, &b, &mut red.clone()).unwrap();
+            assert_bits_eq(&fast, &reference, "matmul_a_bt");
+        }
+    }
+
+    #[test]
+    fn thread_count_is_bitwise_irrelevant() {
+        let (m, k, n) = (13, 57, 11);
+        let a = filled(m, k, 8);
+        let b = filled(k, n, 9);
+        for red in reducers() {
+            let mut ws = Workspace::new();
+            let one = matmul_ws(&a, &b, &mut red.clone(), 1, &mut ws).unwrap();
+            for threads in [2, 3, 8, 64] {
+                let many = matmul_ws(&a, &b, &mut red.clone(), threads, &mut ws).unwrap();
+                assert_bits_eq(&many, &one, "threads");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        let mut ws = Workspace::new();
+        for red in reducers() {
+            // k = 0: every output is an empty reduction.
+            let a = Tensor::zeros(Shape::of(&[3, 0]));
+            let b = Tensor::zeros(Shape::of(&[0, 4]));
+            let fast = matmul_ws(&a, &b, &mut red.clone(), 2, &mut ws).unwrap();
+            let reference = matmul_reference(&a, &b, &mut red.clone()).unwrap();
+            assert_bits_eq(&fast, &reference, "k=0");
+            // n = 0: no outputs at all.
+            let a = filled(3, 4, 10);
+            let b = Tensor::zeros(Shape::of(&[4, 0]));
+            let mut fast_red = red.clone();
+            let mut ref_red = red.clone();
+            let fast = matmul_ws(&a, &b, &mut fast_red, 2, &mut ws).unwrap();
+            let reference = matmul_reference(&a, &b, &mut ref_red).unwrap();
+            assert_bits_eq(&fast, &reference, "n=0");
+            assert_eq!(fast_red.invocations(), ref_red.invocations());
+        }
+    }
+
+    #[test]
+    fn shape_errors_match_reference_path() {
+        let mut ws = Workspace::new();
+        let mut red = Reducer::sequential();
+        let a = filled(2, 3, 11);
+        let b = filled(2, 2, 12);
+        assert!(matmul_ws(&a, &b, &mut red, 1, &mut ws).is_err());
+        let r4 = Tensor::zeros(Shape::of(&[2, 2, 1, 1]));
+        assert!(matmul_ws(&r4, &b, &mut red, 1, &mut ws).is_err());
+        let b3 = filled(3, 2, 13);
+        assert!(matmul_at_b_ws(&a, &b3, &mut red, 1, &mut ws).is_err());
+        assert!(matmul_a_bt_ws(&a, &b, &mut red, 1, &mut ws).is_err());
+    }
+}

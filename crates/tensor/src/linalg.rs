@@ -4,13 +4,25 @@
 //! the [`Reducer`], so a nondeterministic device genuinely changes the
 //! floating-point accumulation order of the matmul — the dominant source of
 //! implementation noise on GPUs (split-K and atomic-accumulation kernels).
+//!
+//! Since the blocked engine landed, the public entry points here are thin
+//! wrappers over [`crate::gemm`]: same signatures, same bits, much faster.
+//! The original per-element `*_reference` implementations are kept as the
+//! oracle the engine is property-tested against (see `crate::gemm` tests
+//! and `tests/proptests.rs`).
 
 use crate::error::ShapeError;
+use crate::gemm;
 use crate::reduce::Reducer;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
+use crate::workspace::Workspace;
 
 /// Computes `C = A × B` for row-major rank-2 tensors.
+///
+/// Runs on the blocked engine ([`crate::gemm::matmul_ws`]) with a private
+/// single-threaded workspace; hot paths that call repeatedly should use
+/// the `_ws` variant directly to reuse scratch buffers.
 ///
 /// # Errors
 ///
@@ -28,6 +40,37 @@ use crate::tensor::Tensor;
 /// # Ok::<(), nstensor::ShapeError>(())
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor, red: &mut Reducer) -> Result<Tensor, ShapeError> {
+    gemm::matmul_ws(a, b, red, 1, &mut Workspace::new())
+}
+
+/// Computes `C = Aᵀ × B`. See [`matmul`] for the engine/workspace notes.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if the operands are not rank 2 or `A`'s rows do
+/// not match `B`'s rows.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor, red: &mut Reducer) -> Result<Tensor, ShapeError> {
+    gemm::matmul_at_b_ws(a, b, red, 1, &mut Workspace::new())
+}
+
+/// Computes `C = A × Bᵀ`. See [`matmul`] for the engine/workspace notes.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if the operands are not rank 2 or the column
+/// counts disagree.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor, red: &mut Reducer) -> Result<Tensor, ShapeError> {
+    gemm::matmul_a_bt_ws(a, b, red, 1, &mut Workspace::new())
+}
+
+/// Per-element reference `C = A × B`: one [`Reducer::dot`] per output, in
+/// row-major order. The bit-identity oracle for the blocked engine.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if the operands are not rank 2 or the inner
+/// dimensions disagree.
+pub fn matmul_reference(a: &Tensor, b: &Tensor, red: &mut Reducer) -> Result<Tensor, ShapeError> {
     check_rank2("matmul", a, b)?;
     let (m, ka) = (a.shape().dim(0), a.shape().dim(1));
     let (kb, n) = (b.shape().dim(0), b.shape().dim(1));
@@ -49,13 +92,17 @@ pub fn matmul(a: &Tensor, b: &Tensor, red: &mut Reducer) -> Result<Tensor, Shape
     Ok(out)
 }
 
-/// Computes `C = Aᵀ × B`.
+/// Per-element reference `C = Aᵀ × B`. See [`matmul_reference`].
 ///
 /// # Errors
 ///
 /// Returns [`ShapeError`] if the operands are not rank 2 or `A`'s rows do
 /// not match `B`'s rows.
-pub fn matmul_at_b(a: &Tensor, b: &Tensor, red: &mut Reducer) -> Result<Tensor, ShapeError> {
+pub fn matmul_at_b_reference(
+    a: &Tensor,
+    b: &Tensor,
+    red: &mut Reducer,
+) -> Result<Tensor, ShapeError> {
     check_rank2("matmul_at_b", a, b)?;
     let (ka, m) = (a.shape().dim(0), a.shape().dim(1));
     let (kb, n) = (b.shape().dim(0), b.shape().dim(1));
@@ -77,13 +124,17 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor, red: &mut Reducer) -> Result<Tensor, 
     Ok(out)
 }
 
-/// Computes `C = A × Bᵀ`.
+/// Per-element reference `C = A × Bᵀ`. See [`matmul_reference`].
 ///
 /// # Errors
 ///
 /// Returns [`ShapeError`] if the operands are not rank 2 or the column
 /// counts disagree.
-pub fn matmul_a_bt(a: &Tensor, b: &Tensor, red: &mut Reducer) -> Result<Tensor, ShapeError> {
+pub fn matmul_a_bt_reference(
+    a: &Tensor,
+    b: &Tensor,
+    red: &mut Reducer,
+) -> Result<Tensor, ShapeError> {
     check_rank2("matmul_a_bt", a, b)?;
     let (m, ka) = (a.shape().dim(0), a.shape().dim(1));
     let (n, kb) = (b.shape().dim(0), b.shape().dim(1));
@@ -161,6 +212,7 @@ mod tests {
         let a = t(2, 3, vec![0.0; 6]);
         let b = t(2, 2, vec![0.0; 4]);
         assert!(matmul(&a, &b, &mut Reducer::sequential()).is_err());
+        assert!(matmul_reference(&a, &b, &mut Reducer::sequential()).is_err());
     }
 
     #[test]
@@ -168,6 +220,7 @@ mod tests {
         let a = Tensor::zeros(Shape::of(&[2, 2, 1, 1]));
         let b = Tensor::zeros(Shape::of(&[2, 2]));
         assert!(matmul(&a, &b, &mut Reducer::sequential()).is_err());
+        assert!(matmul_reference(&a, &b, &mut Reducer::sequential()).is_err());
     }
 
     #[test]

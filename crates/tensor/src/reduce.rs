@@ -265,6 +265,105 @@ impl Reducer {
     }
 }
 
+/// How one output's lane partials must be combined — captured *ahead of
+/// computation* so the blocked GEMM engine ([`crate::gemm`]) can evaluate
+/// outputs in any order (tiles, threads) while the scheduler RNG is
+/// consumed in exactly the order the per-element reference path would
+/// have consumed it.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PermuteSpec {
+    /// First transposition target (`p.swap(0, j1)`).
+    pub j1: u16,
+    /// Second transposition target (`p.swap(1.min(l - 1), j2)`).
+    pub j2: u16,
+    /// Rotation offset of the combine loop.
+    pub rot: u16,
+    /// Amplified-noise multiplier; only applied when `amplified` is set on
+    /// the plan (a `*= 1.0` is *not* a guaranteed bitwise no-op for NaN
+    /// payloads, so the reference path's "skip when amp == 0" is
+    /// reproduced exactly).
+    pub scale: f32,
+}
+
+/// A pre-drawn accumulation plan for a batch of equal-length dot products
+/// (one GEMM). See [`Reducer::plan_dots`].
+#[derive(Debug, Clone)]
+pub(crate) struct DotPlan {
+    /// The accumulation order the batch runs under.
+    pub order: ReduceOrder,
+    /// Effective lane count (`lanes.min(k_len.max(1))`), as
+    /// [`Reducer::dot`] would clamp it.
+    pub lanes: usize,
+    /// Whether the amplified-noise multiplier is applied.
+    pub amplified: bool,
+    /// Per-output combine specs in row-major output order; empty unless
+    /// `order == Permuted` (deterministic orders need no per-output
+    /// state).
+    pub specs: Vec<PermuteSpec>,
+}
+
+impl DotPlan {
+    /// A plan with deterministic fixed-lane combination and no reducer
+    /// involvement — used for gradient paths whose reference code uses a
+    /// fixed `index % lanes` lane assignment with left-to-right combining
+    /// (e.g. the conv input-gradient loop) rather than a [`Reducer`] call.
+    pub fn fixed_lanes(lanes: usize) -> Self {
+        DotPlan {
+            order: ReduceOrder::FixedTree,
+            lanes: lanes.clamp(1, MAX_LANES),
+            amplified: false,
+            specs: Vec::new(),
+        }
+    }
+}
+
+impl Reducer {
+    /// Pre-draws the accumulation plan for `count` dot products of length
+    /// `k_len`, advancing this reducer's state (invocation counter and —
+    /// for [`ReduceOrder::Permuted`] — the scheduler RNG) exactly as
+    /// `count` sequential [`Reducer::dot`] calls would.
+    ///
+    /// This is the bridge that keeps the blocked GEMM engine bit-identical
+    /// to the per-element reference path: the *plan* fixes every output's
+    /// combine order up front, so the engine is free to reorder which
+    /// outputs are computed when.
+    pub(crate) fn plan_dots(&mut self, count: usize, k_len: usize) -> DotPlan {
+        self.invocations += count as u64;
+        let lanes = self.lanes.min(k_len.max(1));
+        let amplified = self.amp_ulps > 0.0;
+        let specs = if self.order == ReduceOrder::Permuted {
+            (0..count)
+                .map(|_| {
+                    let (j1, j2, rot) = if lanes > 1 {
+                        (
+                            self.sched.next_below(lanes as u32) as u16,
+                            self.sched.next_below(lanes as u32) as u16,
+                            self.sched.next_below(lanes as u32) as u16,
+                        )
+                    } else {
+                        (0, 0, 0)
+                    };
+                    let scale = if amplified {
+                        let u = (self.sched.next_f64() as f32) * 2.0 - 1.0;
+                        1.0 + u * self.amp_ulps * f32::EPSILON
+                    } else {
+                        1.0
+                    };
+                    PermuteSpec { j1, j2, rot, scale }
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        DotPlan {
+            order: self.order,
+            lanes,
+            amplified,
+            specs,
+        }
+    }
+}
+
 /// Fixed-order (left-to-right) `f64` summation for aggregation and
 /// reporting paths.
 ///

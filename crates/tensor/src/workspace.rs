@@ -1,0 +1,127 @@
+//! A recycling pool of scratch buffers for the GEMM/conv hot path.
+//!
+//! Training calls the same matmul/conv shapes thousands of times; without
+//! reuse every call re-allocates its im2col columns, packed B panels and
+//! transpose scratch. A [`Workspace`] hands those allocations back out
+//! instead. It is deliberately dumb — a stack of `Vec<f32>` — because the
+//! hot path borrows at most a handful of buffers at a time and the
+//! largest-capacity match is always the right one to reuse.
+
+/// A pool of reusable `f32` scratch buffers.
+///
+/// Buffers are handed out zero-filled at their requested length, so
+/// callers see identical semantics to a fresh `vec![0.0; len]`.
+///
+/// # Example
+///
+/// ```
+/// use nstensor::Workspace;
+/// let mut ws = Workspace::new();
+/// let buf = ws.take_zeroed(1024);
+/// assert!(buf.iter().all(|&x| x == 0.0));
+/// ws.recycle(buf);
+/// // The next take of any size reuses the same allocation.
+/// let again = ws.take_zeroed(512);
+/// assert!(again.capacity() >= 1024);
+/// ```
+#[derive(Debug, Default)]
+pub struct Workspace {
+    pool: Vec<Vec<f32>>,
+}
+
+impl Workspace {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of buffers currently parked in the pool.
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Hands out a buffer of exactly `len` zeros, reusing the pooled
+    /// allocation with the largest capacity when one exists.
+    pub fn take_zeroed(&mut self, len: usize) -> Vec<f32> {
+        let best = self
+            .pool
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, b)| b.capacity())
+            .map(|(i, _)| i);
+        let mut buf = match best {
+            Some(i) => self.pool.swap_remove(i),
+            None => Vec::new(),
+        };
+        buf.clear();
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// Hands out a buffer of exactly `len` elements with **arbitrary
+    /// contents** — whatever a recycled allocation last held. Strictly for
+    /// scratch the caller overwrites in full before reading (im2col
+    /// columns, packed GEMM panels, transpose targets); it skips the
+    /// zero-fill of [`Workspace::take_zeroed`], which is pure overhead for
+    /// such buffers.
+    pub fn take_scratch(&mut self, len: usize) -> Vec<f32> {
+        let best = self
+            .pool
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, b)| b.capacity())
+            .map(|(i, _)| i);
+        let mut buf = match best {
+            Some(i) => self.pool.swap_remove(i),
+            None => Vec::new(),
+        };
+        // Keep whatever prefix the buffer already holds; only growth is
+        // (necessarily) zero-filled.
+        buf.truncate(len);
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub fn recycle(&mut self, buf: Vec<f32>) {
+        // Tiny buffers are cheaper to re-allocate than to track.
+        if buf.capacity() >= 64 {
+            self.pool.push(buf);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_is_zeroed_even_after_dirty_recycle() {
+        let mut ws = Workspace::new();
+        let mut buf = ws.take_zeroed(128);
+        buf.iter_mut().for_each(|x| *x = 7.0);
+        ws.recycle(buf);
+        let buf = ws.take_zeroed(256);
+        assert_eq!(buf.len(), 256);
+        assert!(buf.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn largest_capacity_is_reused_first() {
+        let mut ws = Workspace::new();
+        let big = ws.take_zeroed(4096);
+        let small = ws.take_zeroed(128);
+        ws.recycle(small);
+        ws.recycle(big);
+        let buf = ws.take_zeroed(64);
+        assert!(buf.capacity() >= 4096, "should reuse the big allocation");
+        assert_eq!(ws.pooled(), 1);
+    }
+
+    #[test]
+    fn tiny_buffers_are_dropped() {
+        let mut ws = Workspace::new();
+        ws.recycle(vec![0.0; 8]);
+        assert_eq!(ws.pooled(), 0);
+    }
+}

@@ -6,10 +6,40 @@
 
 use detrand::Philox;
 use hwsim::{Device, ExecutionContext, ExecutionMode, OpClass};
+use nstensor::{ReduceOrder, Reducer, Shape, Tensor, Workspace};
 use proptest::prelude::*;
 
 fn bounded_f32() -> impl Strategy<Value = f32> {
     (-1000i32..1000).prop_map(|v| v as f32 * 1e-3)
+}
+
+fn reduce_order() -> impl Strategy<Value = ReduceOrder> {
+    (0usize..3).prop_map(|i| match i {
+        0 => ReduceOrder::Sequential,
+        1 => ReduceOrder::FixedTree,
+        _ => ReduceOrder::Permuted,
+    })
+}
+
+fn tensor_of(rows: usize, cols: usize, salt: u64) -> Tensor {
+    let mut seed = salt.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let data = (0..rows * cols)
+        .map(|_| {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((seed >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        })
+        .collect();
+    Tensor::from_vec(Shape::of(&[rows, cols]), data).unwrap()
+}
+
+fn assert_tensor_bits(a: &Tensor, b: &Tensor) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.shape(), b.shape());
+    for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+        prop_assert_eq!(x.to_bits(), y.to_bits());
+    }
+    Ok(())
 }
 
 proptest! {
@@ -103,6 +133,91 @@ proptest! {
         let neg: Vec<f32> = w.iter().map(|&x| -x).collect();
         let d = nsmetrics::l2_normalized(&w, &neg);
         prop_assert!((d - 2.0).abs() < 1e-5);
+    }
+
+    /// The blocked GEMM engine is bit-identical to the per-element
+    /// reference path for every accumulation order, lane count,
+    /// amplification tier and thread count — and leaves the reducer in
+    /// the same state (RNG position + invocation count), so subsequent
+    /// ops stay in sync too.
+    #[test]
+    fn blocked_gemm_bit_identical_to_reference(
+        m in 1usize..24,
+        k in 0usize..80,
+        n in 1usize..24,
+        order in reduce_order(),
+        lanes in 1usize..nstensor::MAX_LANES + 1,
+        amp in (0usize..2).prop_map(|i| if i == 0 { 0.0f32 } else { 1e4 }),
+        threads in 1usize..5,
+        salt in any::<u64>(),
+    ) {
+        let a = tensor_of(m, k, salt);
+        let b = tensor_of(k, n, salt.wrapping_add(1));
+        let base = Reducer::new(order, lanes, salt ^ 0xda7a).with_amplification(amp);
+        let mut fast_red = base.clone();
+        let mut ref_red = base.clone();
+        let mut ws = Workspace::new();
+        let fast = nstensor::matmul_ws(&a, &b, &mut fast_red, threads, &mut ws).unwrap();
+        let reference = nstensor::matmul_reference(&a, &b, &mut ref_red).unwrap();
+        assert_tensor_bits(&fast, &reference)?;
+        prop_assert_eq!(fast_red.invocations(), ref_red.invocations());
+        // Probe: the *next* reduction must agree bitwise, proving the
+        // scheduler RNG advanced identically on both paths.
+        let probe = tensor_of(1, k.max(1), salt.wrapping_add(2));
+        prop_assert_eq!(
+            fast_red.dot(probe.as_slice(), probe.as_slice()).to_bits(),
+            ref_red.dot(probe.as_slice(), probe.as_slice()).to_bits()
+        );
+    }
+
+    /// Same bit-identity contract for the transposed entry points.
+    #[test]
+    fn blocked_gemm_transposed_forms_bit_identical(
+        m in 1usize..16,
+        k in 1usize..48,
+        n in 1usize..16,
+        order in reduce_order(),
+        threads in 1usize..4,
+        salt in any::<u64>(),
+    ) {
+        let base = Reducer::new(order, 40, salt ^ 0x5eed).with_amplification(2e3);
+        let mut ws = Workspace::new();
+        let a = tensor_of(k, m, salt);
+        let b = tensor_of(k, n, salt.wrapping_add(3));
+        let fast = nstensor::matmul_at_b_ws(&a, &b, &mut base.clone(), threads, &mut ws).unwrap();
+        let reference = nstensor::matmul_at_b_reference(&a, &b, &mut base.clone()).unwrap();
+        assert_tensor_bits(&fast, &reference)?;
+        let a = tensor_of(m, k, salt.wrapping_add(4));
+        let b = tensor_of(n, k, salt.wrapping_add(5));
+        let fast = nstensor::matmul_a_bt_ws(&a, &b, &mut base.clone(), threads, &mut ws).unwrap();
+        let reference = nstensor::matmul_a_bt_reference(&a, &b, &mut base.clone()).unwrap();
+        assert_tensor_bits(&fast, &reference)?;
+    }
+
+    /// Conv forward + backward on the engine are bit-invariant in thread
+    /// count and workspace reuse for every order.
+    #[test]
+    fn conv_engine_bit_invariant_in_threads(
+        order in reduce_order(),
+        threads in 2usize..5,
+        salt in any::<u64>(),
+    ) {
+        let g = nstensor::ConvGeometry::new(2, 5, 3, 1, 1, 6, 6);
+        let x = tensor_of(3, 2 * 6 * 6, salt).reshape(Shape::of(&[3, 2, 6, 6])).unwrap();
+        let w = tensor_of(5, g.patch_len(), salt.wrapping_add(6));
+        let bias = tensor_of(1, 5, salt.wrapping_add(7)).reshape(Shape::of(&[5])).unwrap();
+        let base = Reducer::new(order, 40, salt ^ 0xc0de).with_amplification(1e3);
+        let mut ws = Workspace::new();
+        let y1 = nstensor::conv2d_forward(&x, &w, &bias, &g, &mut base.clone()).unwrap();
+        let yt = nstensor::conv2d_forward_ws(&x, &w, &bias, &g, &mut base.clone(), threads, &mut ws).unwrap();
+        assert_tensor_bits(&y1, &yt)?;
+        let mut dy = y1.clone();
+        dy.scale(0.25);
+        let g1 = nstensor::conv2d_backward(&x, &w, &dy, &g, &mut base.clone()).unwrap();
+        let gt = nstensor::conv2d_backward_ws(&x, &w, &dy, &g, &mut base.clone(), threads, &mut ws).unwrap();
+        assert_tensor_bits(&g1.dx, &gt.dx)?;
+        assert_tensor_bits(&g1.dw, &gt.dw)?;
+        assert_tensor_bits(&g1.db, &gt.db)?;
     }
 
     /// Dataset generation is pure in the spec.
