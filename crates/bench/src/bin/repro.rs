@@ -8,10 +8,15 @@
 //! ```
 //!
 //! Environment knobs (see `noisescope::settings`): `NS_REPLICAS`,
-//! `NS_SEED`, `NS_AMP_ULPS`, `NS_EPOCHS_SCALE`, `NS_QUICK=1`.
+//! `NS_SEED`, `NS_AMP_ULPS`, `NS_EPOCHS_SCALE`, `NS_QUICK=1`,
+//! `NS_RETRIES`, `NS_CHAOS`.
 //!
 //! Rendered tables go to stdout; machine-readable JSON goes to `--out`
-//! (default `results/`).
+//! (default `results/`). The stability grids are **resumable**: every
+//! completed replica and every in-flight epoch checkpoint is persisted
+//! under `<out>/.ckpt/` (scoped by a settings fingerprint), so an
+//! interrupted run picks up mid-fleet and mid-training — bit-identically —
+//! on the next invocation. Delete `<out>/.ckpt/` to force recomputation.
 
 use noisescope::experiments::{cost, extensions, fairness, ordering, stability};
 use noisescope::paper;
@@ -68,10 +73,14 @@ fn main() {
 
     std::fs::create_dir_all(&out_dir).expect("create output directory");
     let settings = ExperimentSettings::from_env();
+    // Durable fleet progress: interrupted grids resume from here.
+    let store = CheckpointStore::for_settings(out_dir.join(".ckpt"), &settings);
+    let ckpt_every = 1;
     println!(
         "# NoiseScope reproduction — replicas={} amp_ulps={} epochs_scale={} seed={}\n",
         settings.replicas, settings.amp_ulps, settings.epochs_scale, settings.base_seed
     );
+    eprintln!("checkpoint store: {}", store.root().display());
     let save = |name: &str, json: &serde_json::Value| {
         let path = out_dir.join(format!("{name}.json"));
         let mut f = std::fs::File::create(&path).expect("create result file");
@@ -138,7 +147,8 @@ fn main() {
     }
     if exps.contains("fig2") {
         let started = Instant::now();
-        let grid = stability::fig2(&settings);
+        let grid =
+            stability::fig2_resumable(&settings, &store, ckpt_every).expect("checkpoint store IO");
         println!(
             "{}",
             stability::render_fig_panel(&grid, "V100", "Figure 2 (batch-norm ablation)")
@@ -148,17 +158,24 @@ fn main() {
     }
     if exps.contains("table5") {
         let started = Instant::now();
-        let tables = fairness::fig3_table5(&settings);
-        println!("{}", fairness::render_table5(&tables));
-        save("table5", &serde_json::to_value(&tables).unwrap());
-        eprintln!(
-            "table5/fig3 done in {:.1}s",
-            started.elapsed().as_secs_f32()
-        );
+        // A bad subgroup configuration degrades this experiment, not the
+        // whole reproduction run.
+        match fairness::fig3_table5(&settings) {
+            Ok(tables) => {
+                println!("{}", fairness::render_table5(&tables));
+                save("table5", &serde_json::to_value(&tables).unwrap());
+                eprintln!(
+                    "table5/fig3 done in {:.1}s",
+                    started.elapsed().as_secs_f32()
+                );
+            }
+            Err(e) => eprintln!("table5/fig3 skipped: {e}"),
+        }
     }
     if exps.contains("fig5") {
         let started = Instant::now();
-        let grid = stability::fig5(&settings);
+        let grid =
+            stability::fig5_resumable(&settings, &store, ckpt_every).expect("checkpoint store IO");
         let mut rows = Vec::new();
         for r in &grid.reports {
             rows.push(vec![
@@ -204,7 +221,8 @@ fn main() {
         .any(|e| exps.contains(*e));
     if needs_grid {
         let started = Instant::now();
-        let grid = stability::run_table2_grid(&settings);
+        let grid = stability::run_table2_grid_resumable(&settings, &store, ckpt_every)
+            .expect("checkpoint store IO");
         eprintln!(
             "stability grid done in {:.1}s",
             started.elapsed().as_secs_f32()

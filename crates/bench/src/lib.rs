@@ -47,7 +47,8 @@ mod tests {
             NoiseVariant::AlgoImpl,
             &micro_settings(),
             0,
-        );
+        )
+        .expect("micro replica trains");
         assert!(r.accuracy.is_finite());
     }
 }

@@ -200,13 +200,15 @@ pub fn algo_source_decomposition(settings: &ExperimentSettings) -> Vec<AlgoSourc
                 let mut exec = ExecutionContext::new(device, ExecutionMode::Default, 0);
                 let mut net = task.build_model(&model_root);
                 let augment = nsdata::ShiftFlip::standard();
-                Trainer::new(cfg).fit(
-                    &mut net,
-                    prepared.train_set(),
-                    &mut exec,
-                    &model_root,
-                    Some(&augment),
-                );
+                Trainer::new(cfg)
+                    .fit(
+                        &mut net,
+                        prepared.train_set(),
+                        &mut exec,
+                        &model_root,
+                        Some(&augment),
+                    )
+                    .expect("algo-source decomposition training run");
                 let p = predict_classes(&mut net, prepared.test_set(), &mut exec, &model_root, 64);
                 preds_sets.push(p);
                 weight_sets.push(net.flat_weights());
@@ -367,6 +369,7 @@ mod tests {
                 &settings,
                 0,
             )
+            .expect("single-device control replica")
         };
         task.train.data_parallel_workers = 4;
         let sharded = {
@@ -378,6 +381,7 @@ mod tests {
                 &settings,
                 0,
             )
+            .expect("sharded control replica")
         };
         // Not bitwise equal (different reduction structure), but the
         // learned functions must be close.

@@ -44,22 +44,53 @@ pub struct Table5 {
     pub rows: Vec<SubgroupRow>,
 }
 
-fn mask_for(meta: &[CelebaMeta], group: &str) -> Vec<bool> {
-    meta.iter()
-        .map(|m| match group {
-            "All" => true,
-            "Male" => m.male,
-            "Female" => !m.male,
-            "Young" => m.young,
-            "Old" => !m.young,
-            other => panic!("unknown subgroup {other}"),
-        })
-        .collect()
+/// A subgroup name outside [`SUBGROUPS`] reached the fairness masks.
+///
+/// Propagated like [`crate::runner::PredsKindError`]: a typo'd subgroup in
+/// an experiment configuration degrades that experiment, not the process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownSubgroupError {
+    /// The unrecognized subgroup name.
+    pub group: String,
+}
+
+impl std::fmt::Display for UnknownSubgroupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown subgroup {:?} (expected one of {SUBGROUPS:?})",
+            self.group
+        )
+    }
+}
+
+impl std::error::Error for UnknownSubgroupError {}
+
+fn mask_for(meta: &[CelebaMeta], group: &str) -> Result<Vec<bool>, UnknownSubgroupError> {
+    let select: fn(&CelebaMeta) -> bool = match group {
+        "All" => |_| true,
+        "Male" => |m| m.male,
+        "Female" => |m| !m.male,
+        "Young" => |m| m.young,
+        "Old" => |m| !m.young,
+        other => {
+            return Err(UnknownSubgroupError {
+                group: other.to_string(),
+            })
+        }
+    };
+    Ok(meta.iter().map(select).collect())
 }
 
 /// Runs the CelebA experiment for the three measured variants on V100,
 /// returning one Table 5 per variant (Fig. 3 plots the same data).
-pub fn fig3_table5(settings: &ExperimentSettings) -> Vec<Table5> {
+///
+/// # Errors
+///
+/// Returns [`UnknownSubgroupError`] if a subgroup name cannot be mapped to
+/// a metadata mask (impossible for the built-in [`SUBGROUPS`], but the
+/// mask path is fallible so custom subgroup lists degrade gracefully).
+pub fn fig3_table5(settings: &ExperimentSettings) -> Result<Vec<Table5>, UnknownSubgroupError> {
     let task = TaskSpec::celeba();
     let prepared = PreparedTask::prepare(&task);
     let meta = match &prepared.data {
@@ -70,6 +101,12 @@ pub fn fig3_table5(settings: &ExperimentSettings) -> Vec<Table5> {
         Targets::Binary(t) => t.as_slice().iter().map(|&v| (v > 0.5) as u8).collect(),
         Targets::Classes(_) => unreachable!(),
     };
+    // Masks depend only on the metadata, not the variant or replica:
+    // compute them once, surfacing any unknown subgroup before training.
+    let masks: Vec<Vec<bool>> = SUBGROUPS
+        .iter()
+        .map(|group| mask_for(&meta, group))
+        .collect::<Result<_, _>>()?;
     let device = Device::v100();
 
     NoiseVariant::MEASURED
@@ -83,9 +120,8 @@ pub fn fig3_table5(settings: &ExperimentSettings) -> Vec<Table5> {
             let mut per_group: Vec<(Vec<f64>, Vec<f64>, Vec<f64>)> =
                 vec![(Vec::new(), Vec::new(), Vec::new()); SUBGROUPS.len()];
             for p in &preds {
-                for (gi, group) in SUBGROUPS.iter().enumerate() {
-                    let mask = mask_for(&meta, group);
-                    let r = binary_rates(p, &labels, &mask);
+                for (gi, mask) in masks.iter().enumerate() {
+                    let r = binary_rates(p, &labels, mask);
                     per_group[gi].0.push(r.accuracy);
                     per_group[gi].1.push(r.fpr);
                     per_group[gi].2.push(r.fnr);
@@ -114,6 +150,7 @@ pub fn fig3_table5(settings: &ExperimentSettings) -> Vec<Table5> {
                 .collect();
             Table5 { variant, rows }
         })
+        .map(Ok)
         .collect()
 }
 
@@ -201,23 +238,27 @@ mod tests {
                 positive: true,
             },
         ];
-        let male = mask_for(&meta, "Male");
-        let female = mask_for(&meta, "Female");
+        let male = mask_for(&meta, "Male").expect("known subgroup");
+        let female = mask_for(&meta, "Female").expect("known subgroup");
         for i in 0..meta.len() {
             assert_ne!(male[i], female[i]);
         }
-        assert!(mask_for(&meta, "All").iter().all(|&b| b));
+        assert!(mask_for(&meta, "All")
+            .expect("known subgroup")
+            .iter()
+            .all(|&b| b));
     }
 
     #[test]
-    #[should_panic(expected = "unknown subgroup")]
-    fn unknown_group_panics() {
+    fn unknown_group_is_an_error_not_a_panic() {
         let meta = [CelebaMeta {
             male: true,
             young: true,
             positive: false,
         }];
-        mask_for(&meta, "Adult");
+        let err = mask_for(&meta, "Adult").expect_err("unknown subgroup");
+        assert_eq!(err.group, "Adult");
+        assert!(err.to_string().contains("unknown subgroup"), "{err}");
     }
 
     #[test]

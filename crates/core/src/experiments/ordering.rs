@@ -69,7 +69,9 @@ pub fn fig6(settings: &ExperimentSettings) -> Vec<OrderingPoint> {
             cfg.shuffle_seed_override = Some(settings.base_seed ^ (0xF16_6000 + replica as u64));
             let mut exec = ExecutionContext::new(device, ExecutionMode::Default, 0);
             let mut net = task.build_model(&algo);
-            Trainer::new(cfg).fit(&mut net, prepared.train_set(), &mut exec, &algo, None);
+            Trainer::new(cfg)
+                .fit(&mut net, prepared.train_set(), &mut exec, &algo, None)
+                .expect("fig6 training run");
             let p = predict_classes(&mut net, prepared.test_set(), &mut exec, &algo, 64);
             let labels = match &prepared.test_set().targets {
                 Targets::Classes(l) => l,

@@ -1,6 +1,7 @@
 //! The stability experiments: Table 2 and Figures 1, 2, 4, 5, 9, 10.
 
 use crate::report::{render_table, stability_report, StabilityReport};
+use crate::resume::{run_variant_resumable, CheckpointStore};
 use crate::runner::{run_variant, PreparedTask};
 use crate::settings::ExperimentSettings;
 use crate::task::TaskSpec;
@@ -55,6 +56,51 @@ pub fn run_stability_grid(
     StabilityGrid { reports }
 }
 
+/// [`run_stability_grid`] with durable per-cell progress: completed
+/// replicas are loaded from `store`, in-flight replicas checkpoint every
+/// `checkpoint_every_epochs` epochs, and an interrupted grid resumes from
+/// wherever it stopped — mid-fleet and mid-training — bit-identically.
+///
+/// # Errors
+///
+/// Only store IO failures; training faults degrade into flagged reports.
+pub fn run_stability_grid_resumable(
+    tasks: &[TaskSpec],
+    devices: &[Device],
+    variants: &[NoiseVariant],
+    settings: &ExperimentSettings,
+    store: &CheckpointStore,
+    checkpoint_every_epochs: u32,
+) -> std::io::Result<StabilityGrid> {
+    let mut reports = Vec::new();
+    for task in tasks {
+        let prepared = PreparedTask::prepare(task);
+        for device in devices {
+            for &variant in variants {
+                let runs = run_variant_resumable(
+                    &prepared,
+                    device,
+                    variant,
+                    settings,
+                    store,
+                    checkpoint_every_epochs,
+                )?;
+                reports.push(stability_report(&prepared, device, variant, &runs));
+            }
+        }
+    }
+    Ok(StabilityGrid { reports })
+}
+
+/// ImageNet-sim rides the Table-2 grid with a capped fleet (the paper
+/// trains 5 replicas there).
+fn imagenet_settings(settings: &ExperimentSettings) -> ExperimentSettings {
+    ExperimentSettings {
+        replicas: settings.replicas.min(5),
+        ..*settings
+    }
+}
+
 /// The paper's Table-2 grid: the three CIFAR tasks on P100/RTX5000/V100
 /// plus ResNet-50/ImageNet-sim on V100, under the three measured variants.
 pub fn run_table2_grid(settings: &ExperimentSettings) -> StabilityGrid {
@@ -65,18 +111,45 @@ pub fn run_table2_grid(settings: &ExperimentSettings) -> StabilityGrid {
         settings,
     );
     // ImageNet-sim row (V100 only; the paper trains 5 replicas).
-    let imagenet_settings = ExperimentSettings {
-        replicas: settings.replicas.min(5),
-        ..*settings
-    };
     let extra = run_stability_grid(
         &[TaskSpec::resnet50_imagenet()],
         &[Device::v100()],
         &NoiseVariant::MEASURED,
-        &imagenet_settings,
+        &imagenet_settings(settings),
     );
     grid.reports.extend(extra.reports);
     grid
+}
+
+/// [`run_table2_grid`] with durable progress under `store` (see
+/// [`run_stability_grid_resumable`]).
+///
+/// # Errors
+///
+/// Only store IO failures.
+pub fn run_table2_grid_resumable(
+    settings: &ExperimentSettings,
+    store: &CheckpointStore,
+    checkpoint_every_epochs: u32,
+) -> std::io::Result<StabilityGrid> {
+    let mut grid = run_stability_grid_resumable(
+        &TaskSpec::table2_tasks(),
+        &Device::stability_gpus(),
+        &NoiseVariant::MEASURED,
+        settings,
+        store,
+        checkpoint_every_epochs,
+    )?;
+    let extra = run_stability_grid_resumable(
+        &[TaskSpec::resnet50_imagenet()],
+        &[Device::v100()],
+        &NoiseVariant::MEASURED,
+        &imagenet_settings(settings),
+        store,
+        checkpoint_every_epochs,
+    )?;
+    grid.reports.extend(extra.reports);
+    Ok(grid)
 }
 
 /// Renders the Table-2 text table from a grid.
@@ -121,16 +194,41 @@ pub fn render_fig_panel(grid: &StabilityGrid, device: &str, figure: &str) -> Str
     )
 }
 
+/// The Figure-2 cells: the batch-norm ablation of the small CNN on V100.
+fn fig2_tasks() -> [TaskSpec; 2] {
+    [
+        TaskSpec::small_cnn_cifar10(),
+        TaskSpec::small_cnn_bn_cifar10(),
+    ]
+}
+
 /// Figure 2: the batch-norm ablation of the small CNN on V100.
 pub fn fig2(settings: &ExperimentSettings) -> StabilityGrid {
     run_stability_grid(
-        &[
-            TaskSpec::small_cnn_cifar10(),
-            TaskSpec::small_cnn_bn_cifar10(),
-        ],
+        &fig2_tasks(),
         &[Device::v100()],
         &NoiseVariant::MEASURED,
         settings,
+    )
+}
+
+/// [`fig2`] with durable progress under `store`.
+///
+/// # Errors
+///
+/// Only store IO failures.
+pub fn fig2_resumable(
+    settings: &ExperimentSettings,
+    store: &CheckpointStore,
+    checkpoint_every_epochs: u32,
+) -> std::io::Result<StabilityGrid> {
+    run_stability_grid_resumable(
+        &fig2_tasks(),
+        &[Device::v100()],
+        &NoiseVariant::MEASURED,
+        settings,
+        store,
+        checkpoint_every_epochs,
     )
 }
 
@@ -168,20 +266,45 @@ pub fn fig4_from_reports(grid: &StabilityGrid) -> Vec<Fig4Series> {
         .collect()
 }
 
+/// The Figure-5 accelerator sweep, including Tensor Cores and the TPU.
+fn fig5_devices() -> [Device; 5] {
+    [
+        Device::p100(),
+        Device::v100(),
+        Device::rtx5000(),
+        Device::rtx5000_tensor_cores(),
+        Device::tpu_v2(),
+    ]
+}
+
 /// Figure 5: ResNet-18/CIFAR-100-sim across accelerator types, including
 /// Tensor Cores and the TPU.
 pub fn fig5(settings: &ExperimentSettings) -> StabilityGrid {
     run_stability_grid(
         &[TaskSpec::resnet18_cifar100()],
-        &[
-            Device::p100(),
-            Device::v100(),
-            Device::rtx5000(),
-            Device::rtx5000_tensor_cores(),
-            Device::tpu_v2(),
-        ],
+        &fig5_devices(),
         &NoiseVariant::MEASURED,
         settings,
+    )
+}
+
+/// [`fig5`] with durable progress under `store`.
+///
+/// # Errors
+///
+/// Only store IO failures.
+pub fn fig5_resumable(
+    settings: &ExperimentSettings,
+    store: &CheckpointStore,
+    checkpoint_every_epochs: u32,
+) -> std::io::Result<StabilityGrid> {
+    run_stability_grid_resumable(
+        &[TaskSpec::resnet18_cifar100()],
+        &fig5_devices(),
+        &NoiseVariant::MEASURED,
+        settings,
+        store,
+        checkpoint_every_epochs,
     )
 }
 

@@ -47,6 +47,7 @@
 pub mod experiments;
 pub mod paper;
 pub mod report;
+pub mod resume;
 pub mod runner;
 pub mod settings;
 pub mod task;
@@ -55,9 +56,10 @@ pub mod variant;
 /// Convenience re-exports for experiment drivers.
 pub mod prelude {
     pub use crate::report::{render_table, stability_report, StabilityReport};
+    pub use crate::resume::{run_variant_resumable, CheckpointStore};
     pub use crate::runner::{
-        run_replica, run_variant, Preds, PredsKindError, PreparedData, PreparedTask, ReplicaResult,
-        VariantRuns,
+        run_replica, run_replica_with, run_variant, Preds, PredsKindError, PreparedData,
+        PreparedTask, ReplicaOptions, ReplicaResult, ReplicaStatus, VariantRuns,
     };
     pub use crate::settings::ExperimentSettings;
     pub use crate::task::{DataSource, ModelKind, TaskSpec};

@@ -32,12 +32,25 @@ pub struct StabilityReport {
     /// Largest per-class stddev divided by the top-line stddev (the
     /// paper's "up to 4×/23×" numbers). 0 when undefined.
     pub max_per_class_ratio: f64,
+    /// Replica indices that exhausted their retry budget. Non-empty marks
+    /// the cell as incomplete: its statistics cover fewer replicas than
+    /// requested and should be read accordingly.
+    pub failed_replicas: Vec<u32>,
+    /// Replicas that needed at least one supervised retry (their results
+    /// are still bit-identical to fault-free runs, so this is purely
+    /// provenance, not a quality flag).
+    pub retried_replicas: usize,
 }
 
 impl StabilityReport {
-    /// One-line human-readable summary.
+    /// Whether every requested replica contributed to the statistics.
+    pub fn is_complete(&self) -> bool {
+        self.failed_replicas.is_empty()
+    }
+
+    /// One-line human-readable summary. Incomplete cells are flagged.
     pub fn summary_line(&self) -> String {
-        format!(
+        let mut line = format!(
             "{:<22} {:<10} {:<10} acc {:.2}%±{:.2} churn {:.4} l2 {:.4}",
             self.task,
             self.device,
@@ -46,7 +59,15 @@ impl StabilityReport {
             100.0 * self.std_accuracy,
             self.churn,
             self.l2
-        )
+        );
+        if !self.failed_replicas.is_empty() {
+            line.push_str(&format!(
+                " [INCOMPLETE: {} of {} replicas failed]",
+                self.failed_replicas.len(),
+                self.replicas + self.failed_replicas.len()
+            ));
+        }
+        line
     }
 }
 
@@ -115,6 +136,8 @@ pub fn stability_report(
         l2,
         per_class_std,
         max_per_class_ratio: max_ratio,
+        failed_replicas: runs.failed_replicas(),
+        retried_replicas: runs.retried_replicas(),
     }
 }
 
@@ -160,6 +183,7 @@ mod tests {
     use crate::runner::ReplicaResult;
 
     fn fake_runs(preds: Vec<Vec<u32>>, accs: Vec<f64>) -> VariantRuns {
+        let statuses = vec![crate::runner::ReplicaStatus::Ok; preds.len()];
         VariantRuns {
             variant: NoiseVariant::AlgoImpl,
             results: preds
@@ -174,6 +198,7 @@ mod tests {
                     final_train_loss: 0.1,
                 })
                 .collect(),
+            statuses,
         }
     }
 
@@ -204,6 +229,24 @@ mod tests {
         assert!(rep.per_class_std[0] > rep.per_class_std[1]);
         assert!(rep.max_per_class_ratio > 1.0);
         assert!(rep.summary_line().contains("ALGO+IMPL"));
+    }
+
+    #[test]
+    fn incomplete_cells_are_flagged() {
+        let prepared = tiny_prepared();
+        let mut runs = fake_runs(vec![vec![0, 0, 1, 1]], vec![1.0]);
+        runs.statuses.push(crate::runner::ReplicaStatus::Failed {
+            reason: "2 attempts exhausted; last: injected".into(),
+        });
+        let rep = stability_report(&prepared, &Device::v100(), NoiseVariant::AlgoImpl, &runs);
+        assert!(!rep.is_complete());
+        assert_eq!(rep.failed_replicas, vec![1]);
+        assert_eq!(rep.replicas, 1, "statistics cover survivors only");
+        assert!(
+            rep.summary_line().contains("INCOMPLETE: 1 of 2"),
+            "{}",
+            rep.summary_line()
+        );
     }
 
     #[test]

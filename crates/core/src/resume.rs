@@ -1,0 +1,780 @@
+//! Resumable fleet execution: durable per-cell progress under
+//! `results/.ckpt/`.
+//!
+//! The reproduction driver runs large (task × device × variant) grids that
+//! can be interrupted at any point — a wall-clock limit, a host failure, a
+//! ctrl-C. This module makes those interruptions cheap instead of fatal:
+//!
+//! - every *completed* replica's [`ReplicaResult`] is persisted to its
+//!   cell directory the moment it finishes (resume skips it entirely);
+//! - every *in-flight* replica sinks an epoch-boundary [`Checkpoint`] to
+//!   disk, so a resumed run re-enters mid-training instead of re-training
+//!   from scratch;
+//! - a human-readable `manifest.txt` per cell records fleet progress.
+//!
+//! Because replicas are pure functions of `(task, device, variant,
+//! settings, replica)` and checkpoints capture the *complete* training
+//! state (weights, optimizer velocity, RNG streams, scheduler state, data
+//! order), a resumed fleet is bit-identical to an uninterrupted one. That
+//! property is asserted by this module's tests and by the golden resume
+//! integration test.
+//!
+//! Layout under the store root (one directory per cell):
+//!
+//! ```text
+//! <root>/<task>/<device>/<variant>/
+//!     r0.result      completed replica 0 (binary, byte-exact floats)
+//!     r0.status      "ok" | "retried N" | "failed <reason>"
+//!     r1.ckpt        epoch-boundary checkpoint of in-flight replica 1
+//!     manifest.txt   human-readable fleet progress
+//! ```
+
+use crate::runner::{
+    run_replica_with, Preds, PreparedTask, ReplicaOptions, ReplicaResult, ReplicaStatus,
+    VariantRuns,
+};
+use crate::settings::ExperimentSettings;
+use crate::variant::NoiseVariant;
+use hwsim::Device;
+use nnet::checkpoint::Checkpoint;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic prefix of a persisted replica result ("NSRR").
+const RESULT_MAGIC: u32 = 0x4E53_5252;
+/// Result codec version.
+const RESULT_VERSION: u32 = 1;
+
+/// A directory of durable fleet progress, rooted (by convention) at
+/// `results/.ckpt/`.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    root: PathBuf,
+}
+
+/// Replaces path-hostile characters so task/device/variant names can name
+/// directories ("SmallCNN CIFAR-10" → "SmallCNN_CIFAR-10").
+fn path_component(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+impl CheckpointStore {
+    /// Opens (or designates) a store rooted at `root`. No IO happens until
+    /// a fleet runs.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        Self { root: root.into() }
+    }
+
+    /// A store scoped under `root` by a fingerprint of every settings knob
+    /// that shapes replica results. Cells are keyed only by (task, device,
+    /// variant), so without the scope a run with a different seed or epoch
+    /// scale would silently reuse stale cached replicas.
+    pub fn for_settings(root: impl Into<PathBuf>, settings: &ExperimentSettings) -> Self {
+        let fp = format!(
+            "s{}-r{}-u{}-e{}-t{}",
+            settings.base_seed,
+            settings.replicas,
+            settings.amp_ulps,
+            settings.epochs_scale,
+            settings.exec_threads
+        );
+        Self {
+            root: root.into().join(path_component(&fp)),
+        }
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The directory holding one cell's progress.
+    pub fn cell_dir(&self, task: &str, device: &str, variant: NoiseVariant) -> PathBuf {
+        self.root
+            .join(path_component(task))
+            .join(path_component(device))
+            .join(path_component(variant.label()))
+    }
+}
+
+/// Encodes a [`ReplicaResult`] with byte-exact floats (`f32::to_bits` /
+/// `f64::to_bits`): a resumed fleet must reproduce an uninterrupted one
+/// bit-for-bit, and a text codec cannot promise that.
+fn encode_result(r: &ReplicaResult) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + 4 * r.weights.len());
+    out.extend_from_slice(&RESULT_MAGIC.to_le_bytes());
+    out.extend_from_slice(&RESULT_VERSION.to_le_bytes());
+    out.extend_from_slice(&r.replica.to_le_bytes());
+    out.extend_from_slice(&r.accuracy.to_bits().to_le_bytes());
+    match &r.preds {
+        Preds::Classes(p) => {
+            out.push(0);
+            out.extend_from_slice(&(p.len() as u64).to_le_bytes());
+            for &c in p {
+                out.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+        Preds::Binary(p) => {
+            out.push(1);
+            out.extend_from_slice(&(p.len() as u64).to_le_bytes());
+            out.extend_from_slice(p);
+        }
+    }
+    out.extend_from_slice(&(r.weights.len() as u64).to_le_bytes());
+    for &w in &r.weights {
+        out.extend_from_slice(&w.to_bits().to_le_bytes());
+    }
+    out.extend_from_slice(&r.final_train_loss.to_bits().to_le_bytes());
+    out
+}
+
+/// Little-endian reader over a persisted result; every accessor
+/// bounds-checks so truncated or foreign files surface as
+/// [`io::ErrorKind::InvalidData`], never a panic.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+fn bad(detail: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("replica result: {detail}"),
+    )
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> io::Result<&[u8]> {
+        let end = self.pos.checked_add(n).ok_or_else(|| bad("overflow"))?;
+        if end > self.buf.len() {
+            return Err(bad("truncated"));
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// A declared element count, sanity-checked against the bytes that
+    /// actually remain so a corrupt length cannot trigger a huge
+    /// allocation.
+    fn len(&mut self, elem_size: usize) -> io::Result<usize> {
+        let n = self.u64()? as usize;
+        if n.saturating_mul(elem_size) > self.buf.len() - self.pos {
+            return Err(bad("length exceeds payload"));
+        }
+        Ok(n)
+    }
+}
+
+fn decode_result(bytes: &[u8]) -> io::Result<ReplicaResult> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    if r.u32()? != RESULT_MAGIC {
+        return Err(bad("bad magic"));
+    }
+    let version = r.u32()?;
+    if version != RESULT_VERSION {
+        return Err(bad(&format!("unsupported version {version}")));
+    }
+    let replica = r.u32()?;
+    let accuracy = f64::from_bits(r.u64()?);
+    let preds = match r.u8()? {
+        0 => {
+            let n = r.len(4)?;
+            let mut p = Vec::with_capacity(n);
+            for _ in 0..n {
+                p.push(r.u32()?);
+            }
+            Preds::Classes(p)
+        }
+        1 => {
+            let n = r.len(1)?;
+            Preds::Binary(r.take(n)?.to_vec())
+        }
+        t => return Err(bad(&format!("unknown preds tag {t}"))),
+    };
+    let n = r.len(4)?;
+    let mut weights = Vec::with_capacity(n);
+    for _ in 0..n {
+        weights.push(f32::from_bits(r.u32()?));
+    }
+    let final_train_loss = f32::from_bits(r.u32()?);
+    if r.pos != bytes.len() {
+        return Err(bad("trailing bytes"));
+    }
+    Ok(ReplicaResult {
+        replica,
+        accuracy,
+        preds,
+        weights,
+        final_train_loss,
+    })
+}
+
+/// Writes `bytes` atomically (tmp + fsync + rename), so an interrupt
+/// mid-write never leaves a half-written file where resume would read it.
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+fn status_line(status: &ReplicaStatus) -> String {
+    match status {
+        ReplicaStatus::Ok => "ok".into(),
+        ReplicaStatus::Retried { attempts } => format!("retried {attempts}"),
+        ReplicaStatus::Failed { reason } => format!("failed {}", reason.replace('\n', " ")),
+    }
+}
+
+fn parse_status(line: &str) -> Option<ReplicaStatus> {
+    let line = line.trim();
+    if line == "ok" {
+        return Some(ReplicaStatus::Ok);
+    }
+    if let Some(rest) = line.strip_prefix("retried ") {
+        return rest
+            .parse()
+            .ok()
+            .map(|attempts| ReplicaStatus::Retried { attempts });
+    }
+    line.strip_prefix("failed ")
+        .map(|reason| ReplicaStatus::Failed {
+            reason: reason.to_string(),
+        })
+}
+
+fn result_path(dir: &Path, replica: u32) -> PathBuf {
+    dir.join(format!("r{replica}.result"))
+}
+
+fn status_path(dir: &Path, replica: u32) -> PathBuf {
+    dir.join(format!("r{replica}.status"))
+}
+
+fn ckpt_path(dir: &Path, replica: u32) -> PathBuf {
+    dir.join(format!("r{replica}.ckpt"))
+}
+
+/// Rewrites the cell's human-readable progress manifest.
+fn write_manifest(
+    dir: &Path,
+    task: &str,
+    device: &str,
+    variant: NoiseVariant,
+    statuses: &[(u32, String)],
+    total: u32,
+) -> io::Result<()> {
+    let mut out = format!(
+        "cell: {task} / {device} / {variant}\nreplicas: {} of {total} accounted for\n",
+        statuses.len()
+    );
+    for (r, s) in statuses {
+        out.push_str(&format!("r{r}: {s}\n"));
+    }
+    write_atomic(&dir.join("manifest.txt"), out.as_bytes())
+}
+
+/// One replica under supervision with durable progress: attempts resume
+/// from the newest on-disk epoch checkpoint and sink fresh checkpoints as
+/// they train. Checkpoints are only ever emitted at fault-free epoch
+/// boundaries (`fit` aborts *before* the sink on a faulted step), so a
+/// checkpoint from a crashed attempt is still a bit-exact prefix of the
+/// clean trajectory and safe for any later attempt to resume from.
+fn supervise_resumable(
+    prepared: &PreparedTask,
+    device: &Device,
+    variant: NoiseVariant,
+    settings: &ExperimentSettings,
+    replica: u32,
+    dir: &Path,
+    checkpoint_every_epochs: u32,
+) -> io::Result<(Option<ReplicaResult>, ReplicaStatus)> {
+    let ckpt = ckpt_path(dir, replica);
+    let mut last_reason = String::new();
+    for attempt in 0..=settings.retry_budget {
+        // An unreadable checkpoint (partial write survived a crash before
+        // the atomic rename existed, disk corruption, ...) must degrade to
+        // a fresh start, not kill the replica.
+        let resume = match Checkpoint::load(&ckpt) {
+            Ok(c) => Some(c),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => None,
+            Err(_) => {
+                std::fs::remove_file(&ckpt).ok();
+                None
+            }
+        };
+        let mut sink_err: Option<io::Error> = None;
+        let mut sink = |c: &Checkpoint| {
+            if sink_err.is_none() {
+                if let Err(e) = c.save(&ckpt) {
+                    sink_err = Some(e);
+                }
+            }
+        };
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_replica_with(
+                prepared,
+                device,
+                variant,
+                settings,
+                replica,
+                ReplicaOptions {
+                    attempt,
+                    resume: resume.as_ref(),
+                    checkpoint_every_epochs,
+                    sink: Some(&mut sink),
+                },
+            )
+        }));
+        if let Some(e) = sink_err {
+            return Err(e);
+        }
+        match outcome {
+            Ok(Ok(result)) => {
+                let status = if attempt == 0 {
+                    ReplicaStatus::Ok
+                } else {
+                    ReplicaStatus::Retried {
+                        attempts: attempt + 1,
+                    }
+                };
+                write_atomic(&result_path(dir, replica), &encode_result(&result))?;
+                write_atomic(&status_path(dir, replica), status_line(&status).as_bytes())?;
+                std::fs::remove_file(&ckpt).ok();
+                return Ok((Some(result), status));
+            }
+            Ok(Err(err)) => last_reason = err.to_string(),
+            Err(payload) => last_reason = crate::runner::panic_reason(payload),
+        }
+    }
+    let attempts = settings.retry_budget + 1;
+    let status = ReplicaStatus::Failed {
+        reason: format!("{attempts} attempts exhausted; last: {last_reason}"),
+    };
+    write_atomic(&status_path(dir, replica), status_line(&status).as_bytes())?;
+    Ok((None, status))
+}
+
+/// [`crate::runner::run_variant`] with durable progress: completed
+/// replicas are loaded from the store instead of re-trained, in-flight
+/// replicas resume from their newest epoch checkpoint, and every
+/// completion is persisted before the fleet moves on.
+///
+/// `checkpoint_every_epochs = 0` still persists *results* (fleet-level
+/// resume) but no mid-training checkpoints.
+///
+/// Previously-`Failed` replicas are re-attempted on resume: under a
+/// deterministic chaos schedule they fail identically (cheap), while a
+/// real transient host fault gets a fresh chance.
+///
+/// # Errors
+///
+/// Only store IO failures are errors; training faults degrade into
+/// [`ReplicaStatus`] entries exactly as in the in-memory supervisor.
+pub fn run_variant_resumable(
+    prepared: &PreparedTask,
+    device: &Device,
+    variant: NoiseVariant,
+    settings: &ExperimentSettings,
+    store: &CheckpointStore,
+    checkpoint_every_epochs: u32,
+) -> io::Result<VariantRuns> {
+    let dir = store.cell_dir(&prepared.spec.name, device.name(), variant);
+    std::fs::create_dir_all(&dir)?;
+    let n = settings.replicas;
+
+    type Supervised = (Option<ReplicaResult>, ReplicaStatus);
+    let mut harvested: Vec<Option<io::Result<Supervised>>> = (0..n).map(|_| None).collect();
+    let mut pending: Vec<u32> = Vec::new();
+    for r in 0..n {
+        // A readable result file is a completed replica; anything else
+        // (absent, torn write predating atomic saves, foreign bytes) means
+        // the replica runs again.
+        match std::fs::read(result_path(&dir, r)).map(|b| decode_result(&b)) {
+            Ok(Ok(result)) => {
+                let status = std::fs::read_to_string(status_path(&dir, r))
+                    .ok()
+                    .and_then(|s| parse_status(&s))
+                    .unwrap_or(ReplicaStatus::Ok);
+                harvested[r as usize] = Some(Ok((Some(result), status)));
+            }
+            _ => pending.push(r),
+        }
+    }
+
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(pending.len().max(1));
+    if workers <= 1 {
+        for &r in &pending {
+            harvested[r as usize] = Some(supervise_resumable(
+                prepared,
+                device,
+                variant,
+                settings,
+                r,
+                &dir,
+                checkpoint_every_epochs,
+            ));
+        }
+    } else {
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let pending = &pending;
+        let dir_ref = &dir;
+        let collected = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local: Vec<(u32, io::Result<Supervised>)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let Some(&r) = pending.get(i) else {
+                                return local;
+                            };
+                            local.push((
+                                r,
+                                supervise_resumable(
+                                    prepared,
+                                    device,
+                                    variant,
+                                    settings,
+                                    r,
+                                    dir_ref,
+                                    checkpoint_every_epochs,
+                                ),
+                            ));
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("resumable supervisor thread panicked"))
+                .collect::<Vec<_>>()
+        });
+        for (r, out) in collected {
+            harvested[r as usize] = Some(out);
+        }
+    }
+
+    let mut results = Vec::with_capacity(n as usize);
+    let mut statuses = Vec::with_capacity(n as usize);
+    let mut manifest = Vec::with_capacity(n as usize);
+    for (r, cell) in harvested.into_iter().enumerate() {
+        let (result, status) = cell.expect("replica not supervised")?;
+        manifest.push((r as u32, status_line(&status)));
+        results.extend(result);
+        statuses.push(status);
+    }
+    write_manifest(
+        &dir,
+        &prepared.spec.name,
+        device.name(),
+        variant,
+        &manifest,
+        n,
+    )?;
+    Ok(VariantRuns {
+        variant,
+        results,
+        statuses,
+    })
+}
+
+#[cfg(test)]
+// Bit-identical resume is the property under test.
+#[allow(clippy::float_cmp)]
+mod tests {
+    use super::*;
+    use crate::runner::run_variant;
+    use crate::task::{DataSource, TaskSpec};
+    use nsdata::GaussianSpec;
+
+    fn tiny_task() -> TaskSpec {
+        let mut t = TaskSpec::small_cnn_cifar10();
+        t.data = DataSource::Gaussian(GaussianSpec {
+            classes: 3,
+            train_per_class: 10,
+            test_per_class: 6,
+            ..GaussianSpec::cifar10_sim()
+        });
+        t.train.epochs = 4;
+        t.augment = false;
+        t
+    }
+
+    fn tiny_settings() -> ExperimentSettings {
+        ExperimentSettings {
+            replicas: 2,
+            ..ExperimentSettings::default()
+        }
+    }
+
+    /// A unique scratch store per test, cleaned up on drop.
+    struct Scratch(CheckpointStore);
+
+    impl Scratch {
+        fn new(tag: &str) -> Self {
+            let dir = std::env::temp_dir()
+                .join(format!("noisescope-resume-{tag}-{}", std::process::id()));
+            std::fs::remove_dir_all(&dir).ok();
+            Scratch(CheckpointStore::new(dir))
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            std::fs::remove_dir_all(self.0.root()).ok();
+        }
+    }
+
+    #[test]
+    fn result_codec_round_trips_byte_exact() {
+        let r = ReplicaResult {
+            replica: 7,
+            accuracy: 0.687_432_109_8,
+            preds: Preds::Classes(vec![0, 3, 2, 1]),
+            weights: vec![1.5, -0.25, f32::MIN_POSITIVE, 1e-30],
+            final_train_loss: 0.042,
+        };
+        let bytes = encode_result(&r);
+        let back = decode_result(&bytes).expect("decode");
+        assert_eq!(back.replica, r.replica);
+        assert_eq!(back.accuracy.to_bits(), r.accuracy.to_bits());
+        assert_eq!(back.preds, r.preds);
+        let bits = |ws: &[f32]| ws.iter().map(|w| w.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&back.weights), bits(&r.weights));
+        assert_eq!(
+            back.final_train_loss.to_bits(),
+            r.final_train_loss.to_bits()
+        );
+
+        let b = ReplicaResult {
+            preds: Preds::Binary(vec![0, 1, 1, 0]),
+            ..r
+        };
+        assert_eq!(
+            decode_result(&encode_result(&b)).expect("decode").preds,
+            b.preds
+        );
+    }
+
+    #[test]
+    fn result_codec_rejects_malformed_input() {
+        assert!(decode_result(&[]).is_err());
+        assert!(decode_result(b"not a result file").is_err());
+        let r = ReplicaResult {
+            replica: 0,
+            accuracy: 0.5,
+            preds: Preds::Classes(vec![1]),
+            weights: vec![1.0],
+            final_train_loss: 0.1,
+        };
+        let mut bytes = encode_result(&r);
+        bytes.truncate(bytes.len() - 2);
+        assert!(decode_result(&bytes).is_err());
+        let mut bytes = encode_result(&r);
+        bytes.push(0);
+        assert!(decode_result(&bytes).is_err());
+    }
+
+    #[test]
+    fn status_lines_round_trip() {
+        for s in [
+            ReplicaStatus::Ok,
+            ReplicaStatus::Retried { attempts: 3 },
+            ReplicaStatus::Failed {
+                reason: "2 attempts exhausted; last: injected".into(),
+            },
+        ] {
+            assert_eq!(parse_status(&status_line(&s)), Some(s));
+        }
+        assert_eq!(parse_status("gibberish"), None);
+    }
+
+    #[test]
+    fn resumable_fleet_matches_in_memory_fleet() {
+        let scratch = Scratch::new("fresh");
+        let prepared = PreparedTask::prepare(&tiny_task());
+        let settings = tiny_settings();
+        let device = Device::v100();
+        let baseline = run_variant(&prepared, &device, NoiseVariant::Impl, &settings);
+        let durable = run_variant_resumable(
+            &prepared,
+            &device,
+            NoiseVariant::Impl,
+            &settings,
+            &scratch.0,
+            2,
+        )
+        .expect("resumable fleet");
+        assert_eq!(durable.statuses, baseline.statuses);
+        for (a, b) in baseline.results.iter().zip(&durable.results) {
+            assert_eq!(a.weights, b.weights);
+            assert_eq!(a.preds, b.preds);
+        }
+        let dir = scratch
+            .0
+            .cell_dir(&prepared.spec.name, device.name(), NoiseVariant::Impl);
+        assert!(result_path(&dir, 0).exists());
+        assert!(result_path(&dir, 1).exists());
+        assert!(
+            !ckpt_path(&dir, 0).exists(),
+            "completed replicas clean up their checkpoints"
+        );
+        let manifest = std::fs::read_to_string(dir.join("manifest.txt")).expect("manifest");
+        assert!(manifest.contains("2 of 2 accounted for"), "{manifest}");
+    }
+
+    #[test]
+    fn mid_fleet_resume_skips_completed_replicas_bit_identically() {
+        let scratch = Scratch::new("midfleet");
+        let prepared = PreparedTask::prepare(&tiny_task());
+        let settings = tiny_settings();
+        let device = Device::v100();
+
+        // Interrupted first pass: only replica 0 completed.
+        let one = ExperimentSettings {
+            replicas: 1,
+            ..settings
+        };
+        let first =
+            run_variant_resumable(&prepared, &device, NoiseVariant::Impl, &one, &scratch.0, 0)
+                .expect("first pass");
+        assert_eq!(first.results.len(), 1);
+
+        // Resume with the full fleet: replica 0 loads from disk (we corrupt
+        // nothing but a re-train would be detected below anyway), replica 1
+        // trains fresh.
+        let resumed = run_variant_resumable(
+            &prepared,
+            &device,
+            NoiseVariant::Impl,
+            &settings,
+            &scratch.0,
+            0,
+        )
+        .expect("resumed pass");
+        let reference = run_variant(&prepared, &device, NoiseVariant::Impl, &settings);
+        assert_eq!(resumed.results.len(), 2);
+        for (a, b) in reference.results.iter().zip(&resumed.results) {
+            assert_eq!(a.weights, b.weights, "replica {}", a.replica);
+            assert_eq!(a.accuracy.to_bits(), b.accuracy.to_bits());
+        }
+    }
+
+    #[test]
+    fn mid_training_resume_from_epoch_checkpoint_is_bit_identical() {
+        let scratch = Scratch::new("midtrain");
+        let prepared = PreparedTask::prepare(&tiny_task());
+        let settings = tiny_settings();
+        let device = Device::v100();
+        let dir = scratch
+            .0
+            .cell_dir(&prepared.spec.name, device.name(), NoiseVariant::Impl);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+
+        // Simulate an interrupted replica 0: capture its epoch-2 checkpoint
+        // (as the durable sink would have) and plant it in the store.
+        let mut planted: Option<Checkpoint> = None;
+        let mut sink = |c: &Checkpoint| {
+            if c.epochs_done == 2 {
+                planted = Some(c.clone());
+            }
+        };
+        run_replica_with(
+            &prepared,
+            &device,
+            NoiseVariant::Impl,
+            &settings,
+            0,
+            ReplicaOptions {
+                checkpoint_every_epochs: 2,
+                sink: Some(&mut sink),
+                ..ReplicaOptions::default()
+            },
+        )
+        .expect("probe replica");
+        planted
+            .expect("4-epoch run checkpoints at epoch 2")
+            .save(&ckpt_path(&dir, 0))
+            .expect("plant checkpoint");
+
+        let resumed = run_variant_resumable(
+            &prepared,
+            &device,
+            NoiseVariant::Impl,
+            &settings,
+            &scratch.0,
+            2,
+        )
+        .expect("resumed fleet");
+        let reference = run_variant(&prepared, &device, NoiseVariant::Impl, &settings);
+        for (a, b) in reference.results.iter().zip(&resumed.results) {
+            assert_eq!(
+                a.weights, b.weights,
+                "replica {} resumed mid-training must be bit-identical",
+                a.replica
+            );
+            assert_eq!(a.preds, b.preds);
+        }
+    }
+
+    #[test]
+    fn corrupt_store_files_degrade_to_retraining() {
+        let scratch = Scratch::new("corrupt");
+        let prepared = PreparedTask::prepare(&tiny_task());
+        let settings = tiny_settings();
+        let device = Device::v100();
+        let dir = scratch
+            .0
+            .cell_dir(&prepared.spec.name, device.name(), NoiseVariant::Impl);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(result_path(&dir, 0), b"torn write").expect("plant corrupt result");
+        std::fs::write(ckpt_path(&dir, 1), b"torn write").expect("plant corrupt ckpt");
+
+        let runs = run_variant_resumable(
+            &prepared,
+            &device,
+            NoiseVariant::Impl,
+            &settings,
+            &scratch.0,
+            0,
+        )
+        .expect("fleet survives corrupt store files");
+        let reference = run_variant(&prepared, &device, NoiseVariant::Impl, &settings);
+        assert_eq!(runs.results.len(), 2);
+        for (a, b) in reference.results.iter().zip(&runs.results) {
+            assert_eq!(a.weights, b.weights);
+        }
+    }
+}

@@ -4,8 +4,11 @@
 use crate::settings::ExperimentSettings;
 use crate::task::{DataSource, TaskSpec};
 use crate::variant::NoiseVariant;
-use hwsim::{Device, ExecutionContext};
-use nnet::trainer::{predict_binary, predict_classes, Dataset, Targets, Trainer};
+use hwsim::{Device, ExecutionContext, FaultPlan};
+use nnet::checkpoint::Checkpoint;
+use nnet::trainer::{
+    predict_binary, predict_classes, Dataset, FitOptions, Targets, TrainError, Trainer,
+};
 use nsdata::{CelebaData, ShiftFlip, SplitDataset};
 use serde::{Deserialize, Serialize};
 
@@ -91,13 +94,47 @@ pub struct ReplicaResult {
     pub final_train_loss: f32,
 }
 
+/// How one replica of a fleet ended up, as recorded by the supervisor.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReplicaStatus {
+    /// Trained successfully on the first attempt.
+    Ok,
+    /// Failed at least once but a retry succeeded; `attempts` counts every
+    /// execution including the successful one. Because retries re-derive
+    /// all seeds from the replica index, a retried replica's result is
+    /// bit-identical to a never-faulted run.
+    Retried {
+        /// Total executions including the successful one (≥ 2).
+        attempts: u32,
+    },
+    /// Every attempt within the retry budget failed; the replica has no
+    /// result and downstream reports flag the cell as incomplete.
+    Failed {
+        /// Human-readable reason from the last attempt.
+        reason: String,
+    },
+}
+
+impl ReplicaStatus {
+    /// Whether this replica produced no result.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, ReplicaStatus::Failed { .. })
+    }
+}
+
 /// All replicas of one (task, device, variant) cell.
+///
+/// `results` holds the *successful* replicas in replica order; `statuses`
+/// always has one entry per requested replica index, so a degraded fleet
+/// is visible (`results.len() < statuses.len()`) without being fatal.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct VariantRuns {
     /// The variant trained under.
     pub variant: NoiseVariant,
-    /// Replica outcomes, in replica order.
+    /// Successful replica outcomes, in replica order.
     pub results: Vec<ReplicaResult>,
+    /// Per-replica supervision outcome, indexed by replica.
+    pub statuses: Vec<ReplicaStatus>,
 }
 
 /// A [`VariantRuns`] accessor was asked for one kind of predictions but a
@@ -135,6 +172,29 @@ impl Preds {
 }
 
 impl VariantRuns {
+    /// Whether every requested replica produced a result.
+    pub fn is_complete(&self) -> bool {
+        self.statuses.iter().all(|s| !s.is_failed())
+    }
+
+    /// Indices of replicas that exhausted their retry budget.
+    pub fn failed_replicas(&self) -> Vec<u32> {
+        self.statuses
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_failed())
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// Number of replicas that needed at least one retry.
+    pub fn retried_replicas(&self) -> usize {
+        self.statuses
+            .iter()
+            .filter(|s| matches!(s, ReplicaStatus::Retried { .. }))
+            .count()
+    }
+
     /// Replica accuracies.
     pub fn accuracies(&self) -> Vec<f64> {
         self.results.iter().map(|r| r.accuracy).collect()
@@ -184,14 +244,101 @@ impl VariantRuns {
     }
 }
 
+/// Knobs for one supervised replica execution, beyond the cell identity.
+#[derive(Default)]
+pub struct ReplicaOptions<'a> {
+    /// Which retry this is (0 = first execution); selects the chaos fault
+    /// schedule for transient-fault configs.
+    pub attempt: u32,
+    /// Resume mid-training from this checkpoint.
+    pub resume: Option<&'a Checkpoint>,
+    /// Emit a checkpoint every N completed epochs (0 disables).
+    pub checkpoint_every_epochs: u32,
+    /// Receives emitted checkpoints (typically: persist to disk).
+    pub sink: Option<&'a mut dyn FnMut(&Checkpoint)>,
+}
+
+impl std::fmt::Debug for ReplicaOptions<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicaOptions")
+            .field("attempt", &self.attempt)
+            .field("resume", &self.resume.map(|c| c.epochs_done))
+            .field("checkpoint_every_epochs", &self.checkpoint_every_epochs)
+            .field("sink", &self.sink.is_some())
+            .finish()
+    }
+}
+
+/// The chaos fault schedule for one `(replica, attempt)` execution, over
+/// the task's actual training horizon in optimizer steps.
+fn fault_plan_for(
+    prepared: &PreparedTask,
+    settings: &ExperimentSettings,
+    replica: u32,
+    attempt: u32,
+) -> FaultPlan {
+    match &settings.chaos {
+        Some(cfg) => {
+            let train_cfg = prepared.spec.train_config(settings);
+            let steps_per_epoch = prepared
+                .train_set()
+                .len()
+                .div_ceil(train_cfg.batch_size)
+                .max(1) as u64;
+            FaultPlan::build(
+                cfg,
+                replica,
+                attempt,
+                train_cfg.epochs as u64 * steps_per_epoch,
+            )
+        }
+        None => FaultPlan::none(),
+    }
+}
+
 /// Trains one replica of a task on a device under a variant.
+///
+/// Every seed (algorithmic root, scheduler entropy, chaos schedule) is
+/// derived from the replica index, so a replica is a pure function of its
+/// arguments: re-running it — whether as a supervision retry or a
+/// checkpoint resume — reproduces the result bit-for-bit.
+///
+/// # Errors
+///
+/// Returns the [`TrainError`] of a diverged, faulted or empty training
+/// run. Injected kernel panics are *not* caught here; the supervisor in
+/// [`run_variant`] isolates those.
 pub fn run_replica(
     prepared: &PreparedTask,
     device: &Device,
     variant: NoiseVariant,
     settings: &ExperimentSettings,
     replica: u32,
-) -> ReplicaResult {
+) -> Result<ReplicaResult, TrainError> {
+    run_replica_with(
+        prepared,
+        device,
+        variant,
+        settings,
+        replica,
+        ReplicaOptions::default(),
+    )
+}
+
+/// [`run_replica`] with supervision knobs: retry attempt selection and
+/// checkpoint/resume wiring.
+///
+/// # Errors
+///
+/// As [`run_replica`].
+pub fn run_replica_with(
+    prepared: &PreparedTask,
+    device: &Device,
+    variant: NoiseVariant,
+    settings: &ExperimentSettings,
+    replica: u32,
+    opts: ReplicaOptions<'_>,
+) -> Result<ReplicaResult, TrainError> {
     let spec = &prepared.spec;
     let algo = variant.seed_policy().root_for(settings.base_seed, replica);
     let mut exec = ExecutionContext::builder(*device)
@@ -199,17 +346,23 @@ pub fn run_replica(
         .entropy(settings.entropy_for(replica))
         .amp_ulps(settings.amp_ulps)
         .threads(settings.exec_threads)
+        .chaos(fault_plan_for(prepared, settings, replica, opts.attempt))
         .build();
     let mut net = spec.build_model(&algo);
     let trainer = Trainer::new(spec.train_config(settings));
     let augment = ShiftFlip::standard();
-    let report = trainer.fit(
+    let report = trainer.fit_with(
         &mut net,
         prepared.train_set(),
         &mut exec,
         &algo,
         if spec.augment { Some(&augment) } else { None },
-    );
+        FitOptions {
+            resume: opts.resume,
+            checkpoint_every_epochs: opts.checkpoint_every_epochs,
+            sink: opts.sink,
+        },
+    )?;
 
     let test = prepared.test_set();
     let (preds, accuracy) = match &test.targets {
@@ -226,17 +379,92 @@ pub fn run_replica(
         }
     };
 
-    ReplicaResult {
+    Ok(ReplicaResult {
         replica,
         accuracy,
         preds,
         weights: net.flat_weights(),
-        final_train_loss: report.epoch_losses.last().copied().unwrap_or(f32::NAN),
+        // `fit` guards against empty runs (`TrainError::NoSteps`), so a
+        // successful report always has a final epoch loss — no NaN
+        // sentinel needed.
+        final_train_loss: *report
+            .epoch_losses
+            .last()
+            .expect("successful fit has at least one epoch"),
+    })
+}
+
+/// Renders a caught panic payload for a `ReplicaStatus::Failed` reason.
+pub(crate) fn panic_reason(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".to_string()
     }
+}
+
+/// Runs one replica under supervision: panics are isolated with
+/// `catch_unwind`, and failed attempts (structured errors *or* panics) are
+/// retried up to `settings.retry_budget` extra times. Deterministic
+/// re-derivation of all seeds makes a successful retry bit-identical to a
+/// never-faulted run.
+fn supervise_replica(
+    prepared: &PreparedTask,
+    device: &Device,
+    variant: NoiseVariant,
+    settings: &ExperimentSettings,
+    replica: u32,
+) -> (Option<ReplicaResult>, ReplicaStatus) {
+    let mut last_reason = String::new();
+    for attempt in 0..=settings.retry_budget {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_replica_with(
+                prepared,
+                device,
+                variant,
+                settings,
+                replica,
+                ReplicaOptions {
+                    attempt,
+                    ..ReplicaOptions::default()
+                },
+            )
+        }));
+        match outcome {
+            Ok(Ok(result)) => {
+                let status = if attempt == 0 {
+                    ReplicaStatus::Ok
+                } else {
+                    ReplicaStatus::Retried {
+                        attempts: attempt + 1,
+                    }
+                };
+                return (Some(result), status);
+            }
+            Ok(Err(err)) => last_reason = err.to_string(),
+            Err(payload) => last_reason = panic_reason(payload),
+        }
+    }
+    let attempts = settings.retry_budget + 1;
+    (
+        None,
+        ReplicaStatus::Failed {
+            reason: format!("{attempts} attempts exhausted; last: {last_reason}"),
+        },
+    )
 }
 
 /// Trains the whole replica fleet for a variant, parallelized over the
 /// host's cores (replicas are embarrassingly parallel).
+///
+/// Each replica runs under supervision: a panic or structured training
+/// failure costs that replica a retry (up to `settings.retry_budget`),
+/// never the fleet. Replicas whose budget is exhausted are recorded as
+/// [`ReplicaStatus::Failed`] in [`VariantRuns::statuses`] and simply
+/// absent from `results` — partial fleets degrade into flagged reports
+/// instead of aborting the experiment.
 pub fn run_variant(
     prepared: &PreparedTask,
     device: &Device,
@@ -249,10 +477,11 @@ pub fn run_variant(
         .unwrap_or(1)
         .min(n as usize)
         .max(1);
-    let mut results: Vec<Option<ReplicaResult>> = (0..n).map(|_| None).collect();
+    type Supervised = (Option<ReplicaResult>, ReplicaStatus);
+    let mut harvested: Vec<Option<Supervised>> = (0..n).map(|_| None).collect();
     if workers <= 1 {
         for r in 0..n {
-            results[r as usize] = Some(run_replica(prepared, device, variant, settings, r));
+            harvested[r as usize] = Some(supervise_replica(prepared, device, variant, settings, r));
         }
     } else {
         // Workers pull replica indices from a shared counter and return
@@ -262,36 +491,44 @@ pub fn run_variant(
         // on scheduling anyway — each replica derives its seeds and entropy
         // from its index alone.
         let next = std::sync::atomic::AtomicU32::new(0);
-        let harvested = std::thread::scope(|scope| {
+        let collected = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
-                        let mut local: Vec<(u32, ReplicaResult)> = Vec::new();
+                        let mut local: Vec<(u32, Supervised)> = Vec::new();
                         loop {
                             let r = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                             if r >= n {
                                 return local;
                             }
-                            local.push((r, run_replica(prepared, device, variant, settings, r)));
+                            local.push((
+                                r,
+                                supervise_replica(prepared, device, variant, settings, r),
+                            ));
                         }
                     })
                 })
                 .collect();
             handles
                 .into_iter()
-                .flat_map(|h| h.join().expect("replica worker panicked"))
+                .flat_map(|h| h.join().expect("supervisor thread panicked"))
                 .collect::<Vec<_>>()
         });
-        for (r, out) in harvested {
-            results[r as usize] = Some(out);
+        for (r, out) in collected {
+            harvested[r as usize] = Some(out);
         }
+    }
+    let mut results = Vec::with_capacity(n as usize);
+    let mut statuses = Vec::with_capacity(n as usize);
+    for cell in harvested {
+        let (result, status) = cell.expect("replica not supervised");
+        results.extend(result);
+        statuses.push(status);
     }
     VariantRuns {
         variant,
-        results: results
-            .into_iter()
-            .map(|r| r.expect("replica missing"))
-            .collect(),
+        results,
+        statuses,
     }
 }
 
@@ -331,7 +568,8 @@ mod tests {
             NoiseVariant::Control,
             &tiny_settings(),
             0,
-        );
+        )
+        .expect("replica trains");
         assert_eq!(r.preds, r.preds);
         assert!(!r.weights.is_empty());
         assert!((0.0..=1.0).contains(&r.accuracy));
@@ -346,6 +584,60 @@ mod tests {
         assert_eq!(runs.results.len(), 2);
         assert_eq!(runs.results[0].weights, runs.results[1].weights);
         assert_eq!(runs.results[0].preds, runs.results[1].preds);
+        assert!(runs.is_complete());
+        assert_eq!(runs.statuses, vec![ReplicaStatus::Ok; 2]);
+    }
+
+    #[test]
+    fn chaos_faults_are_retried_to_a_bit_identical_fleet() {
+        let prepared = PreparedTask::prepare(&tiny_task());
+        let clean = tiny_settings();
+        let chaotic = ExperimentSettings {
+            chaos: Some(hwsim::ChaosConfig::standard(17)),
+            ..clean
+        };
+        let baseline = run_variant(&prepared, &Device::v100(), NoiseVariant::Impl, &clean);
+        let faulted = run_variant(&prepared, &Device::v100(), NoiseVariant::Impl, &chaotic);
+        assert!(faulted.is_complete(), "transient faults must be recovered");
+        assert!(
+            faulted.retried_replicas() > 0,
+            "standard chaos must actually fault at least one replica: {:?}",
+            faulted.statuses
+        );
+        for (a, b) in baseline.results.iter().zip(&faulted.results) {
+            assert_eq!(
+                a.weights, b.weights,
+                "retried replica {} must be bit-identical to the fault-free run",
+                a.replica
+            );
+            assert_eq!(a.preds, b.preds);
+        }
+    }
+
+    #[test]
+    fn exhausted_retry_budget_degrades_not_panics() {
+        let prepared = PreparedTask::prepare(&tiny_task());
+        let settings = ExperimentSettings {
+            retry_budget: 1,
+            // Persistent faults: every attempt of every replica fails.
+            chaos: Some(hwsim::ChaosConfig {
+                persistent: true,
+                ..hwsim::ChaosConfig::standard(3)
+            }),
+            ..tiny_settings()
+        };
+        let runs = run_variant(&prepared, &Device::v100(), NoiseVariant::Impl, &settings);
+        assert!(!runs.is_complete());
+        assert_eq!(runs.failed_replicas(), vec![0, 1]);
+        assert!(runs.results.is_empty());
+        for s in &runs.statuses {
+            match s {
+                ReplicaStatus::Failed { reason } => {
+                    assert!(reason.contains("2 attempts exhausted"), "{reason}");
+                }
+                other => panic!("expected Failed, got {other:?}"),
+            }
+        }
     }
 
     #[test]

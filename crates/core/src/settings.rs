@@ -1,6 +1,7 @@
 //! Fleet-level experiment settings.
 
 use detrand::SplitMix64;
+use hwsim::ChaosConfig;
 use serde::{Deserialize, Serialize};
 
 /// Settings shared by every experiment in a reproduction run.
@@ -30,6 +31,15 @@ pub struct ExperimentSettings {
     /// parallelism of `run_variant`, so the default stays 1 to leave the
     /// cores to the embarrassingly parallel replica fleet.
     pub exec_threads: usize,
+    /// How many times the supervisor re-runs a failed replica before
+    /// recording it as [`crate::runner::ReplicaStatus::Failed`]. Retries
+    /// re-derive every seed from the replica index, so a retried replica
+    /// is bit-identical to one that never failed.
+    pub retry_budget: u32,
+    /// Chaos-injection configuration for `hwsim` (fault schedules are
+    /// derived per replica and attempt). `None` — the default — is the
+    /// zero-cost path: no fault bookkeeping anywhere in the hot loop.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for ExperimentSettings {
@@ -41,6 +51,8 @@ impl Default for ExperimentSettings {
             amp_ulps: 512.0,
             epochs_scale: 1.0,
             exec_threads: 1,
+            retry_budget: 2,
+            chaos: None,
         }
     }
 }
@@ -48,7 +60,9 @@ impl Default for ExperimentSettings {
 impl ExperimentSettings {
     /// Reads overrides from the environment:
     /// `NS_REPLICAS`, `NS_SEED`, `NS_AMP_ULPS`, `NS_EPOCHS_SCALE`,
-    /// `NS_EXEC_THREADS`, `NS_QUICK` (=1 → 3 replicas, half epochs).
+    /// `NS_EXEC_THREADS`, `NS_QUICK` (=1 → 3 replicas, half epochs),
+    /// `NS_RETRIES` (supervisor retry budget), and `NS_CHAOS`
+    /// (chaos-injection schedule, see [`hwsim::ChaosConfig::parse`]).
     pub fn from_env() -> Self {
         let mut s = Self::default();
         if let Ok(v) = std::env::var("NS_REPLICAS") {
@@ -75,6 +89,14 @@ impl ExperimentSettings {
             if let Ok(n) = v.parse::<usize>() {
                 s.exec_threads = n.max(1);
             }
+        }
+        if let Ok(v) = std::env::var("NS_RETRIES") {
+            if let Ok(n) = v.parse() {
+                s.retry_budget = n;
+            }
+        }
+        if let Some(cfg) = ChaosConfig::from_env() {
+            s.chaos = Some(cfg);
         }
         if std::env::var("NS_QUICK").map(|v| v == "1").unwrap_or(false) {
             s.replicas = s.replicas.min(3);

@@ -1,9 +1,10 @@
 //! Execution contexts: the bridge from a (device, mode) pair to the
 //! accumulation order of every reduction class in a training run.
 
+use crate::chaos::{ChaosState, FaultKind, FaultPlan};
 use crate::device::{Architecture, Device};
 use detrand::SplitMix64;
-use nstensor::{ReduceOrder, Reducer};
+use nstensor::{ReduceOrder, Reducer, ReducerSnapshot};
 use serde::{Deserialize, Serialize};
 
 /// Framework-level execution mode — the paper's "TF deterministic ops"
@@ -71,6 +72,19 @@ pub struct ExecutionContext {
     mode: ExecutionMode,
     threads: usize,
     reducers: [Reducer; 5],
+    /// Armed chaos-injection state; `None` (the default) is the zero-cost
+    /// path — a single pointer-null check per reducer borrow.
+    chaos: Option<Box<ChaosState>>,
+}
+
+/// The replayable state of an [`ExecutionContext`]: one
+/// [`ReducerSnapshot`] per op class, in [`OpClass::ALL`] order. Device,
+/// mode and chaos configuration are *not* part of the snapshot — they are
+/// rebuilt from the experiment description when resuming.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecSnapshot {
+    /// Per-op-class reducer states.
+    pub reducers: Vec<ReducerSnapshot>,
 }
 
 /// Fluent constructor for [`ExecutionContext`], obtained from
@@ -95,6 +109,7 @@ pub struct ExecutionContextBuilder {
     entropy: u64,
     amp_ulps: f32,
     threads: usize,
+    chaos: FaultPlan,
 }
 
 impl ExecutionContextBuilder {
@@ -131,6 +146,15 @@ impl ExecutionContextBuilder {
         self
     }
 
+    /// Arms chaos injection with a pre-built fault schedule (default: no
+    /// faults). An empty plan leaves the context on the zero-cost path —
+    /// chaos never consumes scheduler entropy or perturbs any measured
+    /// number unless a planned fault actually fires.
+    pub fn chaos(mut self, plan: FaultPlan) -> Self {
+        self.chaos = plan;
+        self
+    }
+
     /// Builds the context.
     pub fn build(self) -> ExecutionContext {
         let mut seeder = SplitMix64::new(self.entropy);
@@ -141,11 +165,17 @@ impl ExecutionContextBuilder {
             let seed = seeder.next_u64();
             Reducer::new(order, lanes, seed).with_amplification(self.amp_ulps)
         });
+        let chaos = if self.chaos.is_empty() {
+            None
+        } else {
+            Some(Box::new(ChaosState::new(self.chaos)))
+        };
         ExecutionContext {
             device: self.device,
             mode: self.mode,
             threads: self.threads,
             reducers,
+            chaos,
         }
     }
 }
@@ -160,6 +190,7 @@ impl ExecutionContext {
             entropy: 0,
             amp_ulps: 0.0,
             threads: 1,
+            chaos: FaultPlan::none(),
         }
     }
 
@@ -209,8 +240,106 @@ impl ExecutionContext {
     }
 
     /// The reducer for an op class.
+    ///
+    /// When chaos injection is armed ([`ExecutionContextBuilder::chaos`]),
+    /// each borrow is an "op" of the current training step; a planned
+    /// fault at this `(step, op)` index fires here: a
+    /// [`FaultKind::KernelPanic`] panics the calling thread, a
+    /// [`FaultKind::LaunchFailure`] is recorded for
+    /// [`ExecutionContext::take_fault`], and a [`FaultKind::NanPoison`]
+    /// arms a one-shot NaN on the next direct-reduction class
+    /// (`WeightGrad`/`Statistics`/`Misc` — matmul classes run through
+    /// pre-drawn plans that never materialize a poisoned scalar).
     pub fn reducer(&mut self, class: OpClass) -> &mut Reducer {
+        if let Some(chaos) = self.chaos.as_deref_mut() {
+            let op = chaos.op_in_step;
+            chaos.op_in_step = chaos.op_in_step.saturating_add(1);
+            match chaos.plan.at(chaos.step, op) {
+                Some(FaultKind::KernelPanic) => {
+                    panic!(
+                        "hwsim chaos: injected kernel panic at step {} op {op}",
+                        chaos.step
+                    );
+                }
+                Some(FaultKind::LaunchFailure) if chaos.fault.is_none() => {
+                    chaos.fault = Some(crate::chaos::ChaosEvent {
+                        step: chaos.step,
+                        op,
+                        kind: FaultKind::LaunchFailure,
+                    });
+                }
+                Some(FaultKind::LaunchFailure) => {}
+                Some(FaultKind::NanPoison) => chaos.nan_pending = true,
+                None => {}
+            }
+            if chaos.nan_pending
+                && matches!(
+                    class,
+                    OpClass::WeightGrad | OpClass::Statistics | OpClass::Misc
+                )
+            {
+                chaos.nan_pending = false;
+                self.reducers[class.index()].inject_nan();
+            }
+        }
         &mut self.reducers[class.index()]
+    }
+
+    /// Announces the start of a training step to the chaos layer; a no-op
+    /// (one null check) when chaos is not armed. Training loops call this
+    /// once per optimizer step so planned `(step, op)` fault indices line
+    /// up with reducer borrows.
+    #[inline]
+    pub fn begin_step(&mut self, step: u64) {
+        if let Some(chaos) = self.chaos.as_deref_mut() {
+            chaos.step = step;
+            chaos.op_in_step = 0;
+        }
+    }
+
+    /// Takes the pending injected fault, if one fired since the last poll.
+    /// Training loops poll this once per step and convert the event into a
+    /// structured error.
+    pub fn take_fault(&mut self) -> Option<crate::chaos::ChaosEvent> {
+        self.chaos.as_deref_mut().and_then(|c| c.fault.take())
+    }
+
+    /// Disarms chaos injection for the rest of this context's life (the
+    /// training loop calls this after the final optimizer step so that
+    /// evaluation and prediction run clean).
+    pub fn disarm_chaos(&mut self) {
+        self.chaos = None;
+    }
+
+    /// Whether chaos injection is currently armed.
+    pub fn chaos_armed(&self) -> bool {
+        self.chaos.is_some()
+    }
+
+    /// Captures the replayable execution state (per-op-class reducer
+    /// scheduler positions and invocation counters). Chaos state is not
+    /// captured; resuming rebuilds the fault schedule from the experiment
+    /// description.
+    pub fn snapshot(&self) -> ExecSnapshot {
+        ExecSnapshot {
+            reducers: self.reducers.iter().map(|r| r.snapshot()).collect(),
+        }
+    }
+
+    /// Restores the state captured by [`ExecutionContext::snapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot does not hold exactly one entry per op class.
+    pub fn restore(&mut self, s: &ExecSnapshot) {
+        assert_eq!(
+            s.reducers.len(),
+            self.reducers.len(),
+            "snapshot op-class count mismatch"
+        );
+        for (r, snap) in self.reducers.iter_mut().zip(&s.reducers) {
+            r.restore(*snap);
+        }
     }
 
     /// The device.
@@ -360,6 +489,135 @@ mod tests {
                 b.reducer(class).sum(&xs).to_bits()
             );
         }
+    }
+
+    #[test]
+    fn snapshot_restore_replays_nondeterministic_context() {
+        let xs: Vec<f32> = (0..600).map(|i| (i as f32 * 0.4).sin()).collect();
+        let mut a = ExecutionContext::builder(Device::v100())
+            .entropy(13)
+            .build();
+        for class in OpClass::ALL {
+            a.reducer(class).sum(&xs);
+        }
+        let snap = a.snapshot();
+        let ahead: Vec<u32> = OpClass::ALL
+            .map(|c| a.reducer(c).sum(&xs).to_bits())
+            .to_vec();
+        // Restore into a context built with *different* entropy: the
+        // snapshot carries the full scheduler position.
+        let mut b = ExecutionContext::builder(Device::v100())
+            .entropy(999)
+            .build();
+        b.restore(&snap);
+        let replayed: Vec<u32> = OpClass::ALL
+            .map(|c| b.reducer(c).sum(&xs).to_bits())
+            .to_vec();
+        assert_eq!(ahead, replayed);
+    }
+
+    #[test]
+    fn chaos_off_is_default_and_unarmed() {
+        let ctx = ExecutionContext::builder(Device::v100()).build();
+        assert!(!ctx.chaos_armed());
+        let ctx2 = ExecutionContext::builder(Device::v100())
+            .chaos(crate::chaos::FaultPlan::none())
+            .build();
+        assert!(!ctx2.chaos_armed());
+    }
+
+    #[test]
+    fn chaos_does_not_perturb_results_before_fault_steps() {
+        use crate::chaos::{ChaosConfig, FaultPlan};
+        let xs: Vec<f32> = (0..400).map(|i| (i as f32 * 0.8).cos()).collect();
+        // Plan faults far in the future; every reduction before them must
+        // be bit-identical to an unarmed context.
+        let plan = FaultPlan::build(&ChaosConfig::standard(5), 0, 0, 1_000_000);
+        let earliest = plan.faults().iter().map(|f| f.step).min().unwrap();
+        let mut armed = ExecutionContext::builder(Device::v100())
+            .entropy(4)
+            .chaos(plan)
+            .build();
+        let mut clean = ExecutionContext::builder(Device::v100()).entropy(4).build();
+        for step in 0..earliest.min(32) {
+            armed.begin_step(step);
+            clean.begin_step(step);
+            for class in OpClass::ALL {
+                assert_eq!(
+                    armed.reducer(class).sum(&xs).to_bits(),
+                    clean.reducer(class).sum(&xs).to_bits()
+                );
+            }
+        }
+        assert!(armed.take_fault().is_none());
+    }
+
+    #[test]
+    fn launch_failure_is_recorded_and_polled() {
+        use crate::chaos::{ChaosConfig, FaultPlan};
+        // A schedule with only launch failures over a 1-step horizon: the
+        // fault must fire within the first OPS_PER_STEP borrows of step 0.
+        let cfg = ChaosConfig::parse("9:1,0,0").unwrap();
+        let plan = FaultPlan::build(&cfg, 0, 0, 1);
+        assert_eq!(plan.len(), 1);
+        let mut ctx = ExecutionContext::builder(Device::v100())
+            .chaos(plan)
+            .build();
+        ctx.begin_step(0);
+        for _ in 0..8 {
+            ctx.reducer(OpClass::Misc).sum(&[1.0]);
+        }
+        let ev = ctx.take_fault().expect("launch failure recorded");
+        assert_eq!(ev.step, 0);
+        assert!(ctx.take_fault().is_none(), "event is taken once");
+    }
+
+    #[test]
+    fn nan_poison_materializes_on_direct_reduction() {
+        use crate::chaos::{ChaosConfig, FaultPlan};
+        let cfg = ChaosConfig::parse("3:0,0,1").unwrap();
+        let plan = FaultPlan::build(&cfg, 0, 0, 1);
+        let mut ctx = ExecutionContext::builder(Device::v100())
+            .chaos(plan)
+            .build();
+        ctx.begin_step(0);
+        let mut saw_nan = false;
+        for _ in 0..8 {
+            saw_nan |= ctx.reducer(OpClass::WeightGrad).sum(&[1.0, 2.0]).is_nan();
+        }
+        assert!(saw_nan, "poison never materialized");
+    }
+
+    #[test]
+    #[should_panic(expected = "injected kernel panic")]
+    fn kernel_panic_panics() {
+        use crate::chaos::{ChaosConfig, FaultPlan};
+        let cfg = ChaosConfig::parse("2:0,1,0").unwrap();
+        let plan = FaultPlan::build(&cfg, 0, 0, 1);
+        let mut ctx = ExecutionContext::builder(Device::v100())
+            .chaos(plan)
+            .build();
+        ctx.begin_step(0);
+        for _ in 0..8 {
+            ctx.reducer(OpClass::Misc).sum(&[1.0]);
+        }
+    }
+
+    #[test]
+    fn disarm_stops_injection() {
+        use crate::chaos::{ChaosConfig, FaultPlan};
+        let cfg = ChaosConfig::parse("2:0,1,0").unwrap();
+        let plan = FaultPlan::build(&cfg, 0, 0, 1);
+        let mut ctx = ExecutionContext::builder(Device::v100())
+            .chaos(plan)
+            .build();
+        assert!(ctx.chaos_armed());
+        ctx.disarm_chaos();
+        ctx.begin_step(0);
+        for _ in 0..8 {
+            ctx.reducer(OpClass::Misc).sum(&[1.0]);
+        }
+        assert!(!ctx.chaos_armed());
     }
 
     #[test]

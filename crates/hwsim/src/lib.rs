@@ -43,6 +43,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod autotune;
+pub mod chaos;
 pub mod cost;
 pub mod device;
 pub mod exec;
@@ -52,9 +53,10 @@ pub mod trace;
 pub mod workload;
 
 pub use autotune::{select_conv_kernels, ConvKernelPlan};
+pub use chaos::{ChaosConfig, ChaosEvent, FaultKind, FaultPlan, PlannedFault};
 pub use cost::CostModel;
 pub use device::{Architecture, Device};
-pub use exec::{ExecutionContext, ExecutionContextBuilder, ExecutionMode, OpClass};
+pub use exec::{ExecSnapshot, ExecutionContext, ExecutionContextBuilder, ExecutionMode, OpClass};
 pub use kernels::{ConvAlgorithm, ConvPass, KernelChoice};
 pub use profiler::{profile_workload, KernelProfile, KernelRecord};
 pub use workload::WorkloadOp;

@@ -48,6 +48,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod arch;
+pub mod checkpoint;
 pub mod init;
 pub mod layers;
 pub mod loss;
@@ -57,6 +58,7 @@ pub mod schedule;
 pub mod trainer;
 pub mod zoo;
 
+pub use checkpoint::{Checkpoint, CheckpointError};
 pub use layers::Layer;
 pub use model::Network;
-pub use trainer::{Batch, Targets, TrainConfig, Trainer};
+pub use trainer::{Batch, FitOptions, Targets, TrainConfig, TrainError, Trainer};

@@ -95,6 +95,27 @@ impl Network {
         out
     }
 
+    /// Overwrites every parameter from a flat vector produced by
+    /// [`Network::flat_weights`] (checkpoint restore).
+    ///
+    /// # Errors
+    ///
+    /// Returns the expected length when `flat` does not match the
+    /// network's parameter count; the network is left untouched.
+    pub fn set_flat_weights(&mut self, flat: &[f32]) -> Result<(), usize> {
+        let expected = self.param_count();
+        if flat.len() != expected {
+            return Err(expected);
+        }
+        let mut offset = 0usize;
+        self.visit_params(&mut |p, _| {
+            let n = p.len();
+            p.as_mut_slice().copy_from_slice(&flat[offset..offset + n]);
+            offset += n;
+        });
+        Ok(())
+    }
+
     /// Euclidean norm of all weights.
     pub fn weight_norm(&mut self) -> f64 {
         let mut s = 0f64;

@@ -54,10 +54,15 @@ impl Sgd {
 
     /// Applies one update step with learning rate `lr` to every parameter
     /// of `net`, consuming the gradients stored by the last backward pass.
-    pub fn step(&mut self, net: &mut Network, lr: f32) {
+    ///
+    /// Returns `true` when every updated velocity entry was finite — the
+    /// trainer's gradient-divergence guard, detected inside the update
+    /// loop where the values are already in registers.
+    pub fn step(&mut self, net: &mut Network, lr: f32) -> bool {
         let cfg = self.config;
         let velocity = &mut self.velocity;
         let mut idx = 0usize;
+        let mut finite = true;
         net.visit_params(&mut |param: &mut Tensor, grad: &mut Tensor| {
             if velocity.len() <= idx {
                 velocity.push(vec![0.0; param.len()]);
@@ -70,14 +75,28 @@ impl Sgd {
                 let g = gv[i] + cfg.weight_decay * pv[i];
                 vel[i] = cfg.momentum * vel[i] + g;
                 pv[i] -= lr * vel[i];
+                finite &= vel[i].is_finite();
             }
             idx += 1;
         });
+        finite
     }
 
     /// The configuration.
     pub fn config(&self) -> SgdConfig {
         self.config
+    }
+
+    /// The per-parameter momentum buffers (empty entries not yet touched
+    /// by [`Sgd::step`] are simply absent).
+    pub fn velocity(&self) -> &[Vec<f32>] {
+        &self.velocity
+    }
+
+    /// Restores momentum buffers captured from [`Sgd::velocity`]. Shapes
+    /// are validated lazily by the next [`Sgd::step`].
+    pub fn set_velocity(&mut self, velocity: Vec<Vec<f32>>) {
+        self.velocity = velocity;
     }
 }
 

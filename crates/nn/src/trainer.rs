@@ -5,6 +5,7 @@
 //! counter that addresses dropout streams) and the implementation noise
 //! carried by the [`hwsim::ExecutionContext`].
 
+use crate::checkpoint::Checkpoint;
 use crate::loss::{argmax_predictions, binary_predictions, sigmoid_bce, softmax_cross_entropy};
 use crate::model::Network;
 use crate::optim::{Sgd, SgdConfig};
@@ -13,6 +14,77 @@ use detrand::{shuffle_in_place, Philox, StreamId, StreamRng};
 use hwsim::ExecutionContext;
 use nstensor::{Shape, Tensor};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why a training run could not produce a usable report.
+///
+/// Training failures are *data*, not panics: the supervision layer in
+/// `noisescope` catches these, retries deterministically, and records the
+/// replica as degraded instead of taking the whole fleet down.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainError {
+    /// A non-finite loss, gradient or weight was observed.
+    Diverged {
+        /// Epoch in which divergence was detected.
+        epoch: u32,
+        /// Global optimizer-step index at detection.
+        step: u64,
+        /// The offending loss value (NaN when the loss itself was finite
+        /// but the update was not).
+        loss: f32,
+    },
+    /// The execution context reported an injected or simulated hardware
+    /// fault (e.g. a kernel-launch failure from `hwsim` chaos mode).
+    Fault {
+        /// Epoch in which the fault surfaced.
+        epoch: u32,
+        /// Global optimizer-step index at detection.
+        step: u64,
+        /// Human-readable fault description.
+        detail: String,
+    },
+    /// The run took no optimizer steps (zero epochs or an empty dataset),
+    /// so there is no report to return.
+    NoSteps,
+    /// An accuracy/metric helper was handed the wrong target kind.
+    WrongTargets {
+        /// Target kind the helper requires.
+        expected: &'static str,
+        /// Target kind it was given.
+        found: &'static str,
+    },
+    /// A resume checkpoint does not match the run it was applied to.
+    BadCheckpoint {
+        /// What disagreed.
+        detail: String,
+    },
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::Diverged { epoch, step, loss } => {
+                write!(f, "diverged at epoch {epoch} step {step} (loss {loss})")
+            }
+            TrainError::Fault {
+                epoch,
+                step,
+                detail,
+            } => {
+                write!(f, "hardware fault at epoch {epoch} step {step}: {detail}")
+            }
+            TrainError::NoSteps => write!(f, "no optimizer steps taken"),
+            TrainError::WrongTargets { expected, found } => {
+                write!(f, "expected {expected} targets, found {found}")
+            }
+            TrainError::BadCheckpoint { detail } => {
+                write!(f, "checkpoint mismatch: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
 
 /// Supervision targets.
 #[derive(Debug, Clone)]
@@ -172,12 +244,37 @@ impl Default for TrainConfig {
 }
 
 /// Per-epoch training telemetry.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrainReport {
     /// Mean training loss per epoch.
     pub epoch_losses: Vec<f32>,
     /// Total optimizer steps taken.
     pub steps: u64,
+}
+
+/// Resume/checkpoint controls for [`Trainer::fit_with`].
+///
+/// The default (`FitOptions::default()`) is the zero-cost path: no resume,
+/// no checkpointing, byte-identical to what [`Trainer::fit`] did before
+/// checkpointing existed.
+#[derive(Default)]
+pub struct FitOptions<'a> {
+    /// Resume from this snapshot instead of starting at epoch 0.
+    pub resume: Option<&'a Checkpoint>,
+    /// Emit a checkpoint to `sink` every N completed epochs (0 disables).
+    pub checkpoint_every_epochs: u32,
+    /// Receives each emitted checkpoint (typically: persist it to disk).
+    pub sink: Option<&'a mut dyn FnMut(&Checkpoint)>,
+}
+
+impl fmt::Debug for FitOptions<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FitOptions")
+            .field("resume", &self.resume.map(|c| c.epochs_done))
+            .field("checkpoint_every_epochs", &self.checkpoint_every_epochs)
+            .field("sink", &self.sink.is_some())
+            .finish()
+    }
 }
 
 /// The training loop driver.
@@ -211,6 +308,13 @@ impl Trainer {
     /// `algo` is the run's algorithmic root: shuffling uses its `SHUFFLE`
     /// stream, augmentation its `AUGMENT` stream, dropout layers their own
     /// streams. `exec` carries the device's accumulation-order semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::Diverged`] on a non-finite loss, gradient or
+    /// weight, [`TrainError::Fault`] when the execution context reports an
+    /// injected hardware fault, and [`TrainError::NoSteps`] when the run
+    /// takes no optimizer steps.
     pub fn fit(
         &self,
         net: &mut Network,
@@ -218,7 +322,32 @@ impl Trainer {
         exec: &mut ExecutionContext,
         algo: &Philox,
         augment: Option<&dyn Augment>,
-    ) -> TrainReport {
+    ) -> Result<TrainReport, TrainError> {
+        self.fit_with(net, data, exec, algo, augment, FitOptions::default())
+    }
+
+    /// [`Trainer::fit`] with checkpoint/resume control.
+    ///
+    /// With `opts.resume` set, training continues from the snapshot's
+    /// epoch boundary; because a replica is a pure function of its seeds
+    /// and the checkpoint captures every RNG cursor byte-exactly, the
+    /// resumed continuation is bitwise identical to the uninterrupted run.
+    /// With `opts.checkpoint_every_epochs > 0`, a [`Checkpoint`] is handed
+    /// to `opts.sink` at each matching epoch boundary.
+    ///
+    /// # Errors
+    ///
+    /// As [`Trainer::fit`], plus [`TrainError::BadCheckpoint`] when a
+    /// resume snapshot does not fit the run's model or dataset.
+    pub fn fit_with(
+        &self,
+        net: &mut Network,
+        data: &Dataset,
+        exec: &mut ExecutionContext,
+        algo: &Philox,
+        augment: Option<&dyn Augment>,
+        mut opts: FitOptions<'_>,
+    ) -> Result<TrainReport, TrainError> {
         let cfg = self.config;
         let mut opt = Sgd::new(cfg.sgd);
         let mut shuffle_rng = match cfg.shuffle_seed_override {
@@ -237,10 +366,26 @@ impl Trainer {
             .unwrap_or(*algo);
         let mut order: Vec<usize> = (0..data.len()).collect();
         let mut step: u64 = 0;
+        let mut start_epoch: u32 = 0;
         let mut epoch_losses = Vec::with_capacity(cfg.epochs as usize);
         let sample_dims: Vec<usize> = data.x.shape().dims()[1..].to_vec();
 
-        for epoch in 0..cfg.epochs {
+        if let Some(ck) = opts.resume {
+            apply_checkpoint(
+                ck,
+                net,
+                &mut opt,
+                exec,
+                &mut shuffle_rng,
+                &mut augment_rng,
+                &mut order,
+            )?;
+            start_epoch = ck.epochs_done.min(cfg.epochs);
+            step = ck.steps;
+            epoch_losses = ck.epoch_losses.clone();
+        }
+
+        for epoch in start_epoch..cfg.epochs {
             if cfg.shuffle {
                 shuffle_in_place(&mut shuffle_rng, &mut order);
             }
@@ -248,6 +393,7 @@ impl Trainer {
             let mut loss_sum = 0f64;
             let mut batches = 0u32;
             for chunk in order.chunks(cfg.batch_size) {
+                exec.begin_step(step);
                 let mut batch = data.gather(chunk);
                 if let Some(aug) = augment {
                     let sl = data.sample_len();
@@ -278,18 +424,136 @@ impl Trainer {
                     net.backward(dlogits, exec);
                     loss
                 };
-                opt.step(net, lr);
+                if let Some(ev) = exec.take_fault() {
+                    exec.disarm_chaos();
+                    return Err(TrainError::Fault {
+                        epoch,
+                        step,
+                        detail: ev.to_string(),
+                    });
+                }
+                if !loss.is_finite() {
+                    exec.disarm_chaos();
+                    return Err(TrainError::Diverged { epoch, step, loss });
+                }
+                if !opt.step(net, lr) {
+                    exec.disarm_chaos();
+                    return Err(TrainError::Diverged { epoch, step, loss });
+                }
                 loss_sum += loss as f64;
                 batches += 1;
                 step += 1;
             }
             epoch_losses.push((loss_sum / batches.max(1) as f64) as f32);
+            if opts.checkpoint_every_epochs > 0 && (epoch + 1) % opts.checkpoint_every_epochs == 0 {
+                if let Some(sink) = opts.sink.as_mut() {
+                    let ck = capture_checkpoint(
+                        epoch + 1,
+                        step,
+                        &epoch_losses,
+                        net,
+                        &opt,
+                        exec,
+                        &shuffle_rng,
+                        &augment_rng,
+                        &order,
+                    );
+                    sink(&ck);
+                }
+            }
         }
-        TrainReport {
+        // Training is over: stop injecting faults so evaluation passes run
+        // on clean semantics even when the same context is reused.
+        exec.disarm_chaos();
+        if step == 0 {
+            return Err(TrainError::NoSteps);
+        }
+        let mut weights_finite = true;
+        net.visit_params(&mut |p, _| {
+            weights_finite &= p.as_slice().iter().all(|v| v.is_finite());
+        });
+        if !weights_finite {
+            return Err(TrainError::Diverged {
+                epoch: cfg.epochs,
+                step,
+                loss: f32::NAN,
+            });
+        }
+        Ok(TrainReport {
             epoch_losses,
             steps: step,
-        }
+        })
     }
+}
+
+/// Builds a [`Checkpoint`] from live training state at an epoch boundary.
+#[allow(clippy::too_many_arguments)]
+fn capture_checkpoint(
+    epochs_done: u32,
+    steps: u64,
+    epoch_losses: &[f32],
+    net: &mut Network,
+    opt: &Sgd,
+    exec: &ExecutionContext,
+    shuffle_rng: &StreamRng,
+    augment_rng: &StreamRng,
+    order: &[usize],
+) -> Checkpoint {
+    Checkpoint {
+        epochs_done,
+        steps,
+        epoch_losses: epoch_losses.to_vec(),
+        weights: net.flat_weights(),
+        velocity: opt.velocity().to_vec(),
+        shuffle_rng: shuffle_rng.snapshot(),
+        augment_rng: augment_rng.snapshot(),
+        exec: exec.snapshot(),
+        order: order.iter().map(|&i| i as u32).collect(),
+    }
+}
+
+/// Applies a resume [`Checkpoint`] to live training state, validating that
+/// it matches the model and dataset it is being applied to.
+fn apply_checkpoint(
+    ck: &Checkpoint,
+    net: &mut Network,
+    opt: &mut Sgd,
+    exec: &mut ExecutionContext,
+    shuffle_rng: &mut StreamRng,
+    augment_rng: &mut StreamRng,
+    order: &mut Vec<usize>,
+) -> Result<(), TrainError> {
+    net.set_flat_weights(&ck.weights)
+        .map_err(|expected| TrainError::BadCheckpoint {
+            detail: format!(
+                "checkpoint has {} weights, model expects {expected}",
+                ck.weights.len()
+            ),
+        })?;
+    if ck.order.len() != order.len() {
+        return Err(TrainError::BadCheckpoint {
+            detail: format!(
+                "checkpoint order covers {} samples, dataset has {}",
+                ck.order.len(),
+                order.len()
+            ),
+        });
+    }
+    if ck.exec.reducers.len() != hwsim::OpClass::ALL.len() {
+        return Err(TrainError::BadCheckpoint {
+            detail: format!(
+                "checkpoint has {} reducer states, context expects {}",
+                ck.exec.reducers.len(),
+                hwsim::OpClass::ALL.len()
+            ),
+        });
+    }
+    opt.set_velocity(ck.velocity.clone());
+    *shuffle_rng = StreamRng::from_snapshot(ck.shuffle_rng);
+    *augment_rng = StreamRng::from_snapshot(ck.augment_rng);
+    *order = ck.order.iter().map(|&i| i as usize).collect();
+    exec.restore(&ck.exec);
+    Ok(())
 }
 
 /// One simulated data-parallel training step: shard the batch, compute
@@ -404,19 +668,30 @@ pub fn predict_binary(
 
 /// Classification accuracy of predictions against a dataset's labels.
 ///
+/// # Errors
+///
+/// Returns [`TrainError::WrongTargets`] when the dataset is not
+/// class-labelled.
+///
 /// # Panics
 ///
-/// Panics if the dataset is not class-labelled or lengths mismatch.
-pub fn accuracy(preds: &[u32], data: &Dataset) -> f64 {
+/// Panics if prediction and label counts mismatch.
+pub fn accuracy(preds: &[u32], data: &Dataset) -> Result<f64, TrainError> {
     match &data.targets {
         Targets::Classes(labels) => {
             assert_eq!(preds.len(), labels.len());
             if labels.is_empty() {
-                return 0.0;
+                return Ok(0.0);
             }
-            preds.iter().zip(labels).filter(|(p, l)| p == l).count() as f64 / labels.len() as f64
+            Ok(
+                preds.iter().zip(labels).filter(|(p, l)| p == l).count() as f64
+                    / labels.len() as f64,
+            )
         }
-        Targets::Binary(_) => panic!("accuracy() expects class targets"),
+        Targets::Binary(_) => Err(TrainError::WrongTargets {
+            expected: "class",
+            found: "binary",
+        }),
     }
 }
 
@@ -469,7 +744,9 @@ mod tests {
             augment_seed_override: None,
             dropout_seed_override: None,
         });
-        let report = trainer.fit(&mut net, &data, &mut exec, &root, None);
+        let report = trainer
+            .fit(&mut net, &data, &mut exec, &root, None)
+            .expect("training failed");
         assert_eq!(report.steps, 20 * 8);
         assert!(
             report.epoch_losses.last().unwrap() < &(report.epoch_losses[0] * 0.5),
@@ -477,7 +754,7 @@ mod tests {
             report.epoch_losses
         );
         let preds = predict_classes(&mut net, &data, &mut exec, &root, 32);
-        assert!(accuracy(&preds, &data) > 0.95);
+        assert!(accuracy(&preds, &data).expect("class targets") > 0.95);
     }
 
     #[test]
@@ -490,7 +767,9 @@ mod tests {
                 epochs: 5,
                 ..TrainConfig::default()
             });
-            trainer.fit(&mut net, &data, &mut exec, &root, None);
+            trainer
+                .fit(&mut net, &data, &mut exec, &root, None)
+                .expect("training failed");
             net.flat_weights()
         };
         assert_eq!(run(), run(), "CPU training must be bitwise replayable");
@@ -507,10 +786,204 @@ mod tests {
                 epochs: 3,
                 ..TrainConfig::default()
             });
-            trainer.fit(&mut net, &data, &mut exec, &root, None);
+            trainer
+                .fit(&mut net, &data, &mut exec, &root, None)
+                .expect("training failed");
             net.flat_weights()
         };
         assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn zero_epochs_is_no_steps() {
+        let data = toy_dataset(8, 5);
+        let (mut net, root) = mlp(7);
+        let mut exec = ExecutionContext::new(Device::cpu(), ExecutionMode::Default, 0);
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 0,
+            ..TrainConfig::default()
+        });
+        assert_eq!(
+            trainer.fit(&mut net, &data, &mut exec, &root, None),
+            Err(TrainError::NoSteps)
+        );
+    }
+
+    #[test]
+    fn accuracy_rejects_binary_targets() {
+        let data = Dataset::new(
+            Tensor::zeros(Shape::of(&[2, 4])),
+            Targets::Binary(Tensor::zeros(Shape::of(&[2, 3]))),
+        );
+        assert_eq!(
+            accuracy(&[0, 1], &data),
+            Err(TrainError::WrongTargets {
+                expected: "class",
+                found: "binary",
+            })
+        );
+    }
+
+    /// Interrupt-at-epoch-k then resume must reproduce the uninterrupted
+    /// run bit-for-bit — the core guarantee of the supervision layer,
+    /// checked here at the trainer level on a nondeterministic device.
+    #[test]
+    fn resume_from_checkpoint_is_bitwise_identical() {
+        let data = toy_dataset(64, 11);
+        let cfg = TrainConfig {
+            epochs: 6,
+            batch_size: 16,
+            ..TrainConfig::default()
+        };
+        let make_exec = || {
+            ExecutionContext::builder(Device::v100())
+                .mode(ExecutionMode::Default)
+                .entropy(99)
+                .build()
+        };
+
+        // Uninterrupted reference run.
+        let (mut ref_net, root) = mlp(13);
+        let mut exec = make_exec();
+        let ref_report = Trainer::new(cfg)
+            .fit(&mut ref_net, &data, &mut exec, &root, None)
+            .expect("reference run");
+        let ref_weights = ref_net.flat_weights();
+
+        // Interrupted run: capture a checkpoint at epoch 3, throw the rest
+        // away, then resume into a *fresh* network and context.
+        let (mut int_net, root) = mlp(13);
+        let mut exec = make_exec();
+        let mut saved: Option<Checkpoint> = None;
+        let mut sink = |ck: &Checkpoint| {
+            if ck.epochs_done == 3 {
+                saved = Some(ck.clone());
+            }
+        };
+        Trainer::new(cfg)
+            .fit_with(
+                &mut int_net,
+                &data,
+                &mut exec,
+                &root,
+                None,
+                FitOptions {
+                    resume: None,
+                    checkpoint_every_epochs: 3,
+                    sink: Some(&mut sink),
+                },
+            )
+            .expect("interrupted run");
+        let ck = saved.expect("epoch-3 checkpoint");
+        assert_eq!(ck.epochs_done, 3);
+
+        let (mut res_net, root) = mlp(13);
+        let mut exec = make_exec();
+        let res_report = Trainer::new(cfg)
+            .fit_with(
+                &mut res_net,
+                &data,
+                &mut exec,
+                &root,
+                None,
+                FitOptions {
+                    resume: Some(&ck),
+                    checkpoint_every_epochs: 0,
+                    sink: None,
+                },
+            )
+            .expect("resumed run");
+
+        let to_bits = |w: &[f32]| -> Vec<u32> { w.iter().map(|v| v.to_bits()).collect() };
+        assert_eq!(
+            to_bits(&res_net.flat_weights()),
+            to_bits(&ref_weights),
+            "resumed weights must match the uninterrupted run bit-for-bit"
+        );
+        assert_eq!(res_report.steps, ref_report.steps);
+        assert_eq!(
+            to_bits(&res_report.epoch_losses),
+            to_bits(&ref_report.epoch_losses)
+        );
+    }
+
+    #[test]
+    fn mismatched_checkpoint_is_rejected() {
+        let data = toy_dataset(16, 3);
+        let (mut net, root) = mlp(5);
+        let mut exec = ExecutionContext::new(Device::cpu(), ExecutionMode::Default, 0);
+        let mut saved: Option<Checkpoint> = None;
+        let mut sink = |ck: &Checkpoint| saved = Some(ck.clone());
+        Trainer::new(TrainConfig {
+            epochs: 2,
+            ..TrainConfig::default()
+        })
+        .fit_with(
+            &mut net,
+            &data,
+            &mut exec,
+            &root,
+            None,
+            FitOptions {
+                resume: None,
+                checkpoint_every_epochs: 1,
+                sink: Some(&mut sink),
+            },
+        )
+        .expect("train");
+        let mut ck = saved.expect("checkpoint");
+        ck.weights.pop(); // wrong parameter count
+        let err = Trainer::new(TrainConfig {
+            epochs: 2,
+            ..TrainConfig::default()
+        })
+        .fit_with(
+            &mut net,
+            &data,
+            &mut exec,
+            &root,
+            None,
+            FitOptions {
+                resume: Some(&ck),
+                checkpoint_every_epochs: 0,
+                sink: None,
+            },
+        )
+        .expect_err("mismatched checkpoint must be rejected");
+        assert!(matches!(err, TrainError::BadCheckpoint { .. }), "{err}");
+    }
+
+    /// A NaN poisoned into a gradient reduction by hwsim chaos mode must
+    /// surface as a structured `Diverged` error, not a panic or a silent
+    /// NaN report.
+    #[test]
+    fn injected_nan_surfaces_as_diverged() {
+        use hwsim::{ChaosConfig, FaultPlan};
+        let data = toy_dataset(64, 3);
+        let (mut net, root) = mlp(7);
+        let cfg = ChaosConfig {
+            seed: 5,
+            launch_failures: 0,
+            kernel_panics: 0,
+            nan_poisons: 1,
+            persistent: false,
+        };
+        // 5 epochs × 2 steps/epoch at batch 32.
+        let plan = FaultPlan::build(&cfg, 0, 0, 10);
+        assert!(!plan.is_empty());
+        let mut exec = ExecutionContext::builder(Device::v100())
+            .mode(ExecutionMode::Default)
+            .entropy(1)
+            .chaos(plan)
+            .build();
+        let err = Trainer::new(TrainConfig {
+            epochs: 5,
+            ..TrainConfig::default()
+        })
+        .fit(&mut net, &data, &mut exec, &root, None)
+        .expect_err("poisoned run must fail");
+        assert!(matches!(err, TrainError::Diverged { .. }), "{err}");
+        assert!(!exec.chaos_armed(), "fit must disarm chaos on exit");
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! amount from one stream never shifts another, which is the property that
 //! makes the ALGO / IMPL noise decomposition of the paper well-defined.
 
-use crate::philox::{Philox, PhiloxState};
+use crate::philox::{Philox, PhiloxSnapshot, PhiloxState};
 use serde::{Deserialize, Serialize};
 
 /// A hierarchical identifier for a random stream.
@@ -94,7 +94,35 @@ impl Philox {
     }
 }
 
+/// A plain-data snapshot of a [`StreamRng`]: the underlying Philox
+/// position plus the cached Box-Muller spare, so normal-variate streams
+/// resume byte-exactly even between the two halves of a Box-Muller draw.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamSnapshot {
+    /// The Philox generator position.
+    pub state: PhiloxSnapshot,
+    /// The cached second Box-Muller variate, if any.
+    pub gauss_spare: Option<f32>,
+}
+
 impl StreamRng {
+    /// Captures the complete stream position (see [`StreamSnapshot`]).
+    pub fn snapshot(&self) -> StreamSnapshot {
+        StreamSnapshot {
+            state: self.state.snapshot(),
+            gauss_spare: self.gauss_spare,
+        }
+    }
+
+    /// Rebuilds a stream at the exact position captured by
+    /// [`StreamRng::snapshot`].
+    pub fn from_snapshot(s: StreamSnapshot) -> Self {
+        Self {
+            state: PhiloxState::from_snapshot(s.state),
+            gauss_spare: s.gauss_spare,
+        }
+    }
+
     /// Returns 32 random bits.
     #[inline]
     pub fn next_u32(&mut self) -> u32 {
@@ -183,6 +211,19 @@ mod tests {
         let fresh_root = Philox::from_seed(5);
         let b = fresh_root.stream(StreamId::INIT).next_u32();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn snapshot_preserves_gauss_spare() {
+        let root = Philox::from_seed(31);
+        let mut a = root.stream(StreamId::TEST);
+        // One normal() caches the spare Box-Muller variate.
+        a.normal();
+        let mut b = StreamRng::from_snapshot(a.snapshot());
+        for _ in 0..32 {
+            assert_eq!(a.normal().to_bits(), b.normal().to_bits());
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
     }
 
     #[test]

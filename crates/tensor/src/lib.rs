@@ -71,7 +71,7 @@ pub use linalg::{
 pub use pool::{
     global_avg_pool_backward, global_avg_pool_forward, maxpool2d_backward, maxpool2d_forward,
 };
-pub use reduce::{ReduceOrder, Reducer, MAX_LANES};
+pub use reduce::{ReduceOrder, Reducer, ReducerSnapshot, MAX_LANES};
 pub use shape::Shape;
 pub use tensor::Tensor;
 pub use workspace::Workspace;

@@ -64,6 +64,22 @@ pub struct Reducer {
     amp_ulps: f32,
     /// Count of reductions performed (for profiling/attribution).
     invocations: u64,
+    /// One-shot fault-injection flag: when set, the next direct reduction
+    /// returns NaN (see [`Reducer::inject_nan`]).
+    poisoned: bool,
+}
+
+/// The replayable state of a [`Reducer`]: the scheduler RNG position and
+/// the invocation counter. Configuration (order, lanes, amplification) is
+/// not part of the snapshot — it is rebuilt from the device/mode pair —
+/// so restoring into a reducer with different configuration is a logic
+/// error the caller must avoid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReducerSnapshot {
+    /// The scheduler RNG state.
+    pub sched_state: u64,
+    /// Reductions performed so far.
+    pub invocations: u64,
 }
 
 impl Reducer {
@@ -78,7 +94,33 @@ impl Reducer {
             sched: SplitMix64::new(sched_seed),
             amp_ulps: 0.0,
             invocations: 0,
+            poisoned: false,
         }
+    }
+
+    /// Captures the replayable state (scheduler RNG + invocation count).
+    pub fn snapshot(&self) -> ReducerSnapshot {
+        ReducerSnapshot {
+            sched_state: self.sched.state(),
+            invocations: self.invocations,
+        }
+    }
+
+    /// Restores the state captured by [`Reducer::snapshot`]. The poison
+    /// flag is transient fault-injection state and is always cleared.
+    pub fn restore(&mut self, s: ReducerSnapshot) {
+        self.sched = SplitMix64::new(s.sched_state);
+        self.invocations = s.invocations;
+        self.poisoned = false;
+    }
+
+    /// Arms a one-shot fault: the next direct reduction ([`Reducer::sum`],
+    /// [`Reducer::dot`] or [`Reducer::sum_strided`]) returns NaN instead of
+    /// its result, modelling a kernel that silently produced garbage.
+    /// Pre-planned GEMM batches ([`Reducer::plan_dots`]) are unaffected —
+    /// the poison stays armed until a direct reduction materializes it.
+    pub fn inject_nan(&mut self) {
+        self.poisoned = true;
     }
 
     /// Sequential reference reducer.
@@ -118,6 +160,10 @@ impl Reducer {
     /// Sums a slice under the configured accumulation order.
     pub fn sum(&mut self, xs: &[f32]) -> f32 {
         self.invocations += 1;
+        if self.poisoned {
+            self.poisoned = false;
+            return f32::NAN;
+        }
         match self.order {
             ReduceOrder::Sequential => xs.iter().sum(),
             ReduceOrder::FixedTree => {
@@ -141,6 +187,10 @@ impl Reducer {
     pub fn dot(&mut self, a: &[f32], b: &[f32]) -> f32 {
         assert_eq!(a.len(), b.len(), "dot length mismatch");
         self.invocations += 1;
+        if self.poisoned {
+            self.poisoned = false;
+            return f32::NAN;
+        }
         match self.order {
             ReduceOrder::Sequential => {
                 let mut s = 0f32;
@@ -167,6 +217,10 @@ impl Reducer {
     /// without materializing a copy.
     pub fn sum_strided(&mut self, xs: &[f32], start: usize, stride: usize, count: usize) -> f32 {
         self.invocations += 1;
+        if self.poisoned {
+            self.poisoned = false;
+            return f32::NAN;
+        }
         let lane_count = self.lanes.min(count.max(1));
         let mut p = [0f32; MAX_LANES];
         match self.order {
@@ -545,6 +599,50 @@ mod tests {
     #[should_panic(expected = "bad amplification")]
     fn negative_amplification_panics() {
         Reducer::sequential().with_amplification(-1.0);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_permuted_stream() {
+        let xs = data(512);
+        let mut r = Reducer::new(ReduceOrder::Permuted, 32, 11);
+        for _ in 0..5 {
+            r.sum(&xs);
+        }
+        let snap = r.snapshot();
+        let ahead: Vec<u32> = (0..8).map(|_| r.sum(&xs).to_bits()).collect();
+        let mut fresh = Reducer::new(ReduceOrder::Permuted, 32, 0);
+        fresh.restore(snap);
+        let replayed: Vec<u32> = (0..8).map(|_| fresh.sum(&xs).to_bits()).collect();
+        assert_eq!(ahead, replayed);
+        assert_eq!(fresh.invocations(), r.invocations());
+    }
+
+    #[test]
+    fn inject_nan_poisons_exactly_one_reduction() {
+        let xs = data(64);
+        let mut r = Reducer::new(ReduceOrder::Permuted, 16, 3);
+        let mut clean = r.clone();
+        r.inject_nan();
+        assert!(r.sum(&xs).is_nan());
+        // One-shot: the next call is clean again (though the scheduler
+        // stream has not advanced for the poisoned call).
+        assert!(!r.sum(&xs).is_nan());
+        // The poisoned call consumed no scheduler state.
+        assert_eq!(clean.sum(&xs).to_bits(), {
+            let mut r2 = Reducer::new(ReduceOrder::Permuted, 16, 3);
+            r2.inject_nan();
+            r2.sum(&[]);
+            r2.sum(&xs).to_bits()
+        });
+    }
+
+    #[test]
+    fn restore_clears_poison() {
+        let mut r = Reducer::new(ReduceOrder::FixedTree, 8, 0);
+        let snap = r.snapshot();
+        r.inject_nan();
+        r.restore(snap);
+        assert!(!r.sum(&[1.0, 2.0]).is_nan());
     }
 
     #[test]

@@ -33,7 +33,7 @@ fn main() {
         "Training {} replicas per noise variant on V100...\n",
         settings.replicas
     );
-    let tables = fairness::fig3_table5(&settings);
+    let tables = fairness::fig3_table5(&settings).expect("built-in subgroups always resolve");
     println!("{}", fairness::render_table5(&tables));
 
     for t in &tables {

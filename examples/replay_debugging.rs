@@ -49,7 +49,8 @@ fn main() {
         NoiseVariant::Impl,
         &settings,
         worst as u32,
-    );
+    )
+    .expect("replayed replica trains exactly as the original did");
     let identical = replayed.weights == runs.results[worst].weights
         && replayed.preds == runs.results[worst].preds;
     println!(
@@ -64,7 +65,8 @@ fn main() {
         NoiseVariant::Control,
         &settings,
         worst as u32,
-    );
+    )
+    .expect("deterministic counterfactual trains");
     println!(
         "  deterministic acc {:.2}% vs noisy replica's {:.2}% — the gap is pure \
          implementation noise.",

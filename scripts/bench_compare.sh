@@ -17,6 +17,11 @@ cd "$(dirname "$0")/.."
 
 REF=BENCH_2.json
 TOLERANCE=${BENCH_TOLERANCE:-1.75} # warn when slower than ref by this factor
+# The fault-tolerance layer (chaos hooks, checkpoint plumbing) must be
+# zero-cost when disarmed: `begin_step`/`take_fault` are a null check and
+# FitOptions::default() wires no sink. The train_step hot path therefore
+# gets a tighter drift tolerance than the general wall-clock noise budget.
+HOT_TOLERANCE=${BENCH_HOT_TOLERANCE:-1.40}
 UPDATE=0
 FROM=""
 
@@ -44,10 +49,14 @@ else
     cargo bench -p ns-bench --bench hotpath 2>&1 | tee "$LOG"
 fi
 
-python3 - "$REF" "$LOG" "$UPDATE" "$TOLERANCE" <<'PY'
+python3 - "$REF" "$LOG" "$UPDATE" "$TOLERANCE" "$HOT_TOLERANCE" <<'PY'
 import json, re, sys
 
 ref_path, log_path, update, tol = sys.argv[1], sys.argv[2], sys.argv[3] == "1", float(sys.argv[4])
+hot_tol = float(sys.argv[5])
+# Benches covered by the zero-cost-when-disabled guarantee of the
+# supervision/checkpoint layer: held to hot_tol instead of tol.
+HOT_PREFIXES = ("train_step/",)
 ref = json.load(open(ref_path))
 
 # Bench stub output: "group/label: 12345.6 ns/iter (...)"
@@ -70,9 +79,10 @@ for name, entry in ref["results"].items():
         continue
     now, then = fresh[name], entry["post_pr_ns"]
     ratio = now / then if then else float("inf")
+    limit = hot_tol if name.startswith(HOT_PREFIXES) else tol
     status = "ok"
-    if ratio > tol:
-        status = f"WARN slower than reference x{ratio:.2f} (tolerance x{tol})"
+    if ratio > limit:
+        status = f"WARN slower than reference x{ratio:.2f} (tolerance x{limit})"
         warned += 1
     print(f"bench_compare: {name}: ref {then:.1f} ns, now {now:.1f} ns [{status}]")
 

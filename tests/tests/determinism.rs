@@ -72,8 +72,8 @@ fn deterministic_execution_is_entropy_invariant() {
         entropy_salt: 0xFFFF_0000,
         ..tiny_settings()
     };
-    let ra = run_replica(&prepared, &Device::v100(), NoiseVariant::Algo, &a, 0);
-    let rb = run_replica(&prepared, &Device::v100(), NoiseVariant::Algo, &b, 0);
+    let ra = run_replica(&prepared, &Device::v100(), NoiseVariant::Algo, &a, 0).expect("trains");
+    let rb = run_replica(&prepared, &Device::v100(), NoiseVariant::Algo, &b, 0).expect("trains");
     assert_eq!(ra.weights, rb.weights);
 }
 
@@ -88,8 +88,8 @@ fn deterministic_execution_depends_on_algorithmic_seed() {
         base_seed: 8,
         ..tiny_settings()
     };
-    let ra = run_replica(&prepared, &Device::v100(), NoiseVariant::Control, &a, 0);
-    let rb = run_replica(&prepared, &Device::v100(), NoiseVariant::Control, &b, 0);
+    let ra = run_replica(&prepared, &Device::v100(), NoiseVariant::Control, &a, 0).expect("trains");
+    let rb = run_replica(&prepared, &Device::v100(), NoiseVariant::Control, &b, 0).expect("trains");
     assert_ne!(ra.weights, rb.weights, "different seeds must differ");
 }
 
@@ -105,13 +105,15 @@ fn replaying_a_pinned_nondeterministic_schedule_reproduces_the_run() {
         NoiseVariant::AlgoImpl,
         &settings,
         1,
-    );
+    )
+    .expect("trains");
     let b = run_replica(
         &prepared,
         &Device::v100(),
         NoiseVariant::AlgoImpl,
         &settings,
         1,
-    );
+    )
+    .expect("trains");
     assert_eq!(a.weights, b.weights);
 }

@@ -22,7 +22,9 @@ fn data_order_alone_diverges_weights_on_deterministic_hardware() {
         cfg.shuffle_seed_override = Some(shuffle_seed);
         let mut exec = ExecutionContext::new(Device::tpu_v2(), ExecutionMode::Default, 0);
         let mut net = task.build_model(&algo);
-        Trainer::new(cfg).fit(&mut net, prepared.train_set(), &mut exec, &algo, None);
+        Trainer::new(cfg)
+            .fit(&mut net, prepared.train_set(), &mut exec, &algo, None)
+            .expect("order-only run trains");
         net.flat_weights()
     };
     let a = run(1);
@@ -45,7 +47,9 @@ fn full_batch_training_is_still_order_sensitive() {
         cfg.shuffle_seed_override = Some(shuffle_seed);
         let mut exec = ExecutionContext::new(Device::tpu_v2(), ExecutionMode::Default, 0);
         let mut net = task.build_model(&algo);
-        Trainer::new(cfg).fit(&mut net, prepared.train_set(), &mut exec, &algo, None);
+        Trainer::new(cfg)
+            .fit(&mut net, prepared.train_set(), &mut exec, &algo, None)
+            .expect("full-batch run trains");
         net.flat_weights()
     };
     assert_ne!(
@@ -63,7 +67,7 @@ fn celeba_pipeline_produces_complete_table5() {
         epochs_scale: 0.34, // 2 epochs
         ..ExperimentSettings::default()
     };
-    let tables = fairness::fig3_table5(&settings);
+    let tables = fairness::fig3_table5(&settings).expect("built-in subgroups always resolve");
     assert_eq!(tables.len(), 3, "one table per measured variant");
     for t in &tables {
         assert_eq!(t.rows.len(), 5);

@@ -30,7 +30,9 @@ fn model_actually_learns_the_generated_task() {
         epochs: 8,
         ..Default::default()
     };
-    Trainer::new(cfg).fit(&mut net, &ds.train, &mut exec, &algo, None);
+    Trainer::new(cfg)
+        .fit(&mut net, &ds.train, &mut exec, &algo, None)
+        .expect("sanity run trains");
     let preds = predict_classes(&mut net, &ds.test, &mut exec, &algo, 32);
     let labels = ds.test_labels();
     let acc = nsmetrics::accuracy(&preds, labels);
@@ -46,13 +48,15 @@ fn augmentation_changes_training_but_respects_the_seed() {
         let mut exec = ExecutionContext::new(Device::cpu(), ExecutionMode::Default, 0);
         let mut net = task.build_model(&algo);
         let aug = ShiftFlip::standard();
-        Trainer::new(task.train).fit(
-            &mut net,
-            prepared.train_set(),
-            &mut exec,
-            &algo,
-            if augment { Some(&aug) } else { None },
-        );
+        Trainer::new(task.train)
+            .fit(
+                &mut net,
+                prepared.train_set(),
+                &mut exec,
+                &algo,
+                if augment { Some(&aug) } else { None },
+            )
+            .expect("augmentation run trains");
         net.flat_weights()
     };
     let plain = run(false);
@@ -81,7 +85,9 @@ fn dropout_task_trains_and_is_a_noise_source() {
             epochs: 2,
             ..Default::default()
         };
-        Trainer::new(cfg).fit(&mut net, &ds.train, &mut exec, &algo, None);
+        Trainer::new(cfg)
+            .fit(&mut net, &ds.train, &mut exec, &algo, None)
+            .expect("dropout run trains");
         net.flat_weights()
     };
     assert_eq!(run(4), run(4), "dropout training must replay from the seed");
@@ -128,7 +134,8 @@ fn binary_and_class_tasks_share_the_runner() {
         NoiseVariant::AlgoImpl,
         &tiny_settings(),
         0,
-    );
+    )
+    .expect("CelebA replica trains");
     match (&r.preds, &prepared.test_set().targets) {
         (noisescope::runner::Preds::Binary(p), Targets::Binary(t)) => {
             assert_eq!(p.len(), t.len());

@@ -24,12 +24,16 @@ fn stability_report_round_trips() {
         l2: 0.24,
         per_class_std: vec![0.01, 0.04],
         max_per_class_ratio: 4.2,
+        failed_replicas: vec![2],
+        retried_replicas: 1,
     };
     let json = serde_json::to_string(&report).unwrap();
     let back: StabilityReport = serde_json::from_str(&json).unwrap();
     assert_eq!(back.task, report.task);
     assert_eq!(back.variant, report.variant);
     assert_eq!(back.per_class_std, report.per_class_std);
+    assert_eq!(back.failed_replicas, report.failed_replicas);
+    assert_eq!(back.retried_replicas, report.retried_replicas);
 }
 
 #[test]
