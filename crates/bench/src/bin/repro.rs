@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--exp <id>]... [--out <dir>]
+//! repro [--exp <id>]... [--out <dir>] [--fleet <procs>]
 //!
 //!   ids: table2 table3 table5 fig1 fig2 fig4 fig5 fig6 fig7 fig8a fig8b
 //!        fig9 fig10 cost stability all (default: all)
@@ -9,26 +9,41 @@
 //!
 //! Environment knobs (see `noisescope::settings`): `NS_REPLICAS`,
 //! `NS_SEED`, `NS_AMP_ULPS`, `NS_EPOCHS_SCALE`, `NS_QUICK=1`,
-//! `NS_RETRIES`, `NS_CHAOS`.
+//! `NS_RETRIES`, `NS_CHAOS`, `NS_WORKER_TIMEOUT`, `NS_HEARTBEAT_EVERY`.
 //!
 //! Rendered tables go to stdout; machine-readable JSON goes to `--out`
-//! (default `results/`). The stability grids are **resumable**: every
-//! completed replica and every in-flight epoch checkpoint is persisted
-//! under `<out>/.ckpt/` (scoped by a settings fingerprint), so an
-//! interrupted run picks up mid-fleet and mid-training — bit-identically —
-//! on the next invocation. Delete `<out>/.ckpt/` to force recomputation.
+//! (default `results/`), published atomically (write-temp-then-rename) so
+//! an interrupt can never leave a truncated report. The stability grids
+//! are **resumable**: every completed replica and every in-flight epoch
+//! checkpoint is persisted under `<out>/.ckpt/` (scoped by a settings
+//! fingerprint), so an interrupted run picks up mid-fleet and
+//! mid-training — bit-identically — on the next invocation. Delete
+//! `<out>/.ckpt/` to force recomputation.
+//!
+//! `--fleet <procs>` runs the stability grids with **process-isolated**
+//! replicas (`procs` concurrent workers; 0 = host parallelism): this
+//! binary re-executes itself in a hidden `--worker` mode, one process per
+//! replica attempt, under a heartbeat watchdog that kills and
+//! re-dispatches hung or crashed workers. Results are bit-identical to
+//! in-process runs and share the same checkpoint store.
 
 use noisescope::experiments::{cost, extensions, fairness, ordering, stability};
 use noisescope::paper;
 use noisescope::prelude::*;
 use std::collections::BTreeSet;
-use std::io::Write;
 use std::path::PathBuf;
 use std::time::Instant;
 
 fn main() {
+    // Worker dispatch must precede everything else: a worker's stdout is
+    // the IPC pipe, so not a single banner byte may be printed first.
+    if std::env::args().nth(1).as_deref() == Some("--worker") {
+        std::process::exit(worker_main());
+    }
+
     let mut exps: BTreeSet<String> = BTreeSet::new();
     let mut out_dir = PathBuf::from("results");
+    let mut fleet: Option<FleetOptions> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -39,10 +54,23 @@ fn main() {
             "--out" => {
                 out_dir = PathBuf::from(args.next().expect("--out needs a value"));
             }
+            "--fleet" => {
+                let v = args.next().expect("--fleet needs a worker-process count");
+                let procs: usize = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--fleet needs an integer worker-process count, got {v:?}");
+                    std::process::exit(2);
+                });
+                fleet = Some(FleetOptions {
+                    procs,
+                    ..FleetOptions::default()
+                });
+            }
             "--help" | "-h" => {
                 println!(
-                    "repro [--exp <id>]... [--out <dir>]\n  ids: table2 table3 table5 fig1 \
-                     fig2 fig4 fig5 fig6 fig7 fig8a fig8b fig9 fig10 ext cost stability all"
+                    "repro [--exp <id>]... [--out <dir>] [--fleet <procs>]\n  ids: table2 \
+                     table3 table5 fig1 fig2 fig4 fig5 fig6 fig7 fig8a fig8b fig9 fig10 ext \
+                     cost stability all\n  --fleet <procs>: process-isolated replicas for the \
+                     stability grids (0 = host parallelism)"
                 );
                 return;
             }
@@ -73,6 +101,10 @@ fn main() {
 
     std::fs::create_dir_all(&out_dir).expect("create output directory");
     let settings = ExperimentSettings::from_env();
+    if let Err(e) = settings.validate() {
+        eprintln!("invalid configuration: {e}");
+        std::process::exit(2);
+    }
     // Durable fleet progress: interrupted grids resume from here.
     let store = CheckpointStore::for_settings(out_dir.join(".ckpt"), &settings);
     let ckpt_every = 1;
@@ -81,11 +113,12 @@ fn main() {
         settings.replicas, settings.amp_ulps, settings.epochs_scale, settings.base_seed
     );
     eprintln!("checkpoint store: {}", store.root().display());
+    if fleet.is_some() {
+        eprintln!("fleet mode: stability grids run with process-isolated replicas");
+    }
     let save = |name: &str, json: &serde_json::Value| {
         let path = out_dir.join(format!("{name}.json"));
-        let mut f = std::fs::File::create(&path).expect("create result file");
-        f.write_all(serde_json::to_string_pretty(json).unwrap().as_bytes())
-            .expect("write result file");
+        noisescope::report::save_json(&path, json).expect("write result file");
         eprintln!("  wrote {}", path.display());
     };
     let t0 = Instant::now();
@@ -147,8 +180,11 @@ fn main() {
     }
     if exps.contains("fig2") {
         let started = Instant::now();
-        let grid =
-            stability::fig2_resumable(&settings, &store, ckpt_every).expect("checkpoint store IO");
+        let grid = match &fleet {
+            Some(opts) => stability::fig2_fleet(&settings, &store, ckpt_every, opts),
+            None => stability::fig2_resumable(&settings, &store, ckpt_every),
+        }
+        .expect("checkpoint store IO");
         println!(
             "{}",
             stability::render_fig_panel(&grid, "V100", "Figure 2 (batch-norm ablation)")
@@ -174,8 +210,11 @@ fn main() {
     }
     if exps.contains("fig5") {
         let started = Instant::now();
-        let grid =
-            stability::fig5_resumable(&settings, &store, ckpt_every).expect("checkpoint store IO");
+        let grid = match &fleet {
+            Some(opts) => stability::fig5_fleet(&settings, &store, ckpt_every, opts),
+            None => stability::fig5_resumable(&settings, &store, ckpt_every),
+        }
+        .expect("checkpoint store IO");
         let mut rows = Vec::new();
         for r in &grid.reports {
             rows.push(vec![
@@ -221,8 +260,11 @@ fn main() {
         .any(|e| exps.contains(*e));
     if needs_grid {
         let started = Instant::now();
-        let grid = stability::run_table2_grid_resumable(&settings, &store, ckpt_every)
-            .expect("checkpoint store IO");
+        let grid = match &fleet {
+            Some(opts) => stability::run_table2_grid_fleet(&settings, &store, ckpt_every, opts),
+            None => stability::run_table2_grid_resumable(&settings, &store, ckpt_every),
+        }
+        .expect("checkpoint store IO");
         eprintln!(
             "stability grid done in {:.1}s",
             started.elapsed().as_secs_f32()

@@ -1,8 +1,9 @@
 //! The stability experiments: Table 2 and Figures 1, 2, 4, 5, 9, 10.
 
+use crate::fleet::{run_variant_fleet, FleetOptions};
 use crate::report::{render_table, stability_report, StabilityReport};
 use crate::resume::{run_variant_resumable, CheckpointStore};
-use crate::runner::{run_variant, PreparedTask};
+use crate::runner::{run_variant, PreparedTask, VariantRuns};
 use crate::settings::ExperimentSettings;
 use crate::task::TaskSpec;
 use crate::variant::NoiseVariant;
@@ -36,6 +37,31 @@ impl StabilityGrid {
     }
 }
 
+/// The shared grid driver: visits every (task × device × variant) cell
+/// through `run_cell`, so the in-process, resumable, and fleet grids are
+/// one loop with three replica engines — they cannot drift apart.
+fn run_grid_with<F>(
+    tasks: &[TaskSpec],
+    devices: &[Device],
+    variants: &[NoiseVariant],
+    mut run_cell: F,
+) -> std::io::Result<StabilityGrid>
+where
+    F: FnMut(&PreparedTask, &Device, NoiseVariant) -> std::io::Result<VariantRuns>,
+{
+    let mut reports = Vec::new();
+    for task in tasks {
+        let prepared = PreparedTask::prepare(task);
+        for device in devices {
+            for &variant in variants {
+                let runs = run_cell(&prepared, device, variant)?;
+                reports.push(stability_report(&prepared, device, variant, &runs));
+            }
+        }
+    }
+    Ok(StabilityGrid { reports })
+}
+
 /// Runs every (task × device × variant) combination.
 pub fn run_stability_grid(
     tasks: &[TaskSpec],
@@ -43,17 +69,10 @@ pub fn run_stability_grid(
     variants: &[NoiseVariant],
     settings: &ExperimentSettings,
 ) -> StabilityGrid {
-    let mut reports = Vec::new();
-    for task in tasks {
-        let prepared = PreparedTask::prepare(task);
-        for device in devices {
-            for &variant in variants {
-                let runs = run_variant(&prepared, device, variant, settings);
-                reports.push(stability_report(&prepared, device, variant, &runs));
-            }
-        }
-    }
-    StabilityGrid { reports }
+    run_grid_with(tasks, devices, variants, |prepared, device, variant| {
+        Ok(run_variant(prepared, device, variant, settings))
+    })
+    .expect("in-process grid cells are infallible")
 }
 
 /// [`run_stability_grid`] with durable per-cell progress: completed
@@ -72,24 +91,47 @@ pub fn run_stability_grid_resumable(
     store: &CheckpointStore,
     checkpoint_every_epochs: u32,
 ) -> std::io::Result<StabilityGrid> {
-    let mut reports = Vec::new();
-    for task in tasks {
-        let prepared = PreparedTask::prepare(task);
-        for device in devices {
-            for &variant in variants {
-                let runs = run_variant_resumable(
-                    &prepared,
-                    device,
-                    variant,
-                    settings,
-                    store,
-                    checkpoint_every_epochs,
-                )?;
-                reports.push(stability_report(&prepared, device, variant, &runs));
-            }
-        }
-    }
-    Ok(StabilityGrid { reports })
+    run_grid_with(tasks, devices, variants, |prepared, device, variant| {
+        run_variant_resumable(
+            prepared,
+            device,
+            variant,
+            settings,
+            store,
+            checkpoint_every_epochs,
+        )
+    })
+}
+
+/// [`run_stability_grid_resumable`] with process isolation: every cell's
+/// replicas run in supervised worker processes
+/// ([`crate::fleet::run_variant_fleet`]), sharing `store` cells — and
+/// therefore resumability and bit-identity — with the in-process engines.
+///
+/// # Errors
+///
+/// Store/spawn IO failures or an invalid configuration; worker deaths
+/// degrade into flagged reports.
+pub fn run_stability_grid_fleet(
+    tasks: &[TaskSpec],
+    devices: &[Device],
+    variants: &[NoiseVariant],
+    settings: &ExperimentSettings,
+    store: &CheckpointStore,
+    checkpoint_every_epochs: u32,
+    opts: &FleetOptions,
+) -> std::io::Result<StabilityGrid> {
+    run_grid_with(tasks, devices, variants, |prepared, device, variant| {
+        run_variant_fleet(
+            prepared,
+            device,
+            variant,
+            settings,
+            store,
+            checkpoint_every_epochs,
+            opts,
+        )
+    })
 }
 
 /// ImageNet-sim rides the Table-2 grid with a capped fleet (the paper
@@ -147,6 +189,40 @@ pub fn run_table2_grid_resumable(
         &imagenet_settings(settings),
         store,
         checkpoint_every_epochs,
+    )?;
+    grid.reports.extend(extra.reports);
+    Ok(grid)
+}
+
+/// [`run_table2_grid`] under process-isolated workers (see
+/// [`run_stability_grid_fleet`]).
+///
+/// # Errors
+///
+/// Store/spawn IO failures or an invalid configuration.
+pub fn run_table2_grid_fleet(
+    settings: &ExperimentSettings,
+    store: &CheckpointStore,
+    checkpoint_every_epochs: u32,
+    opts: &FleetOptions,
+) -> std::io::Result<StabilityGrid> {
+    let mut grid = run_stability_grid_fleet(
+        &TaskSpec::table2_tasks(),
+        &Device::stability_gpus(),
+        &NoiseVariant::MEASURED,
+        settings,
+        store,
+        checkpoint_every_epochs,
+        opts,
+    )?;
+    let extra = run_stability_grid_fleet(
+        &[TaskSpec::resnet50_imagenet()],
+        &[Device::v100()],
+        &NoiseVariant::MEASURED,
+        &imagenet_settings(settings),
+        store,
+        checkpoint_every_epochs,
+        opts,
     )?;
     grid.reports.extend(extra.reports);
     Ok(grid)
@@ -232,6 +308,31 @@ pub fn fig2_resumable(
     )
 }
 
+/// [`fig2`] under process-isolated workers (see
+/// [`run_stability_grid_fleet`]). The CI resilience job runs this under
+/// pinned hang+abort chaos and asserts bit-identity with the in-process
+/// golden run.
+///
+/// # Errors
+///
+/// Store/spawn IO failures or an invalid configuration.
+pub fn fig2_fleet(
+    settings: &ExperimentSettings,
+    store: &CheckpointStore,
+    checkpoint_every_epochs: u32,
+    opts: &FleetOptions,
+) -> std::io::Result<StabilityGrid> {
+    run_stability_grid_fleet(
+        &fig2_tasks(),
+        &[Device::v100()],
+        &NoiseVariant::MEASURED,
+        settings,
+        store,
+        checkpoint_every_epochs,
+        opts,
+    )
+}
+
 /// A Figure-4 series: per-class variance amplification for one task.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Fig4Series {
@@ -305,6 +406,29 @@ pub fn fig5_resumable(
         settings,
         store,
         checkpoint_every_epochs,
+    )
+}
+
+/// [`fig5`] under process-isolated workers (see
+/// [`run_stability_grid_fleet`]).
+///
+/// # Errors
+///
+/// Store/spawn IO failures or an invalid configuration.
+pub fn fig5_fleet(
+    settings: &ExperimentSettings,
+    store: &CheckpointStore,
+    checkpoint_every_epochs: u32,
+    opts: &FleetOptions,
+) -> std::io::Result<StabilityGrid> {
+    run_stability_grid_fleet(
+        &[TaskSpec::resnet18_cifar100()],
+        &fig5_devices(),
+        &NoiseVariant::MEASURED,
+        settings,
+        store,
+        checkpoint_every_epochs,
+        opts,
     )
 }
 

@@ -45,6 +45,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod experiments;
+pub mod fleet;
 pub mod paper;
 pub mod report;
 pub mod resume;
@@ -55,13 +56,15 @@ pub mod variant;
 
 /// Convenience re-exports for experiment drivers.
 pub mod prelude {
-    pub use crate::report::{render_table, stability_report, StabilityReport};
+    pub use crate::fleet::{run_variant_fleet, worker_main, FleetOptions};
+    pub use crate::report::{render_table, save_json, stability_report, StabilityReport};
     pub use crate::resume::{run_variant_resumable, CheckpointStore};
     pub use crate::runner::{
         run_replica, run_replica_with, run_variant, Preds, PredsKindError, PreparedData,
         PreparedTask, ReplicaOptions, ReplicaResult, ReplicaStatus, VariantRuns,
     };
     pub use crate::settings::ExperimentSettings;
+    pub use crate::settings::SettingsError;
     pub use crate::task::{DataSource, ModelKind, TaskSpec};
     pub use crate::variant::NoiseVariant;
     pub use hwsim::{Device, ExecutionContext, ExecutionMode, OpClass};

@@ -7,6 +7,20 @@ use nnet::trainer::Targets;
 use nsmetrics::{mean, pairwise_mean_churn, pairwise_mean_l2, per_class_accuracy, stddev};
 use serde::{Deserialize, Serialize};
 
+/// Publishes a JSON report atomically (pretty-printed, via the same
+/// write-temp-then-rename helper the checkpoint store uses), so an
+/// interrupt mid-write can never leave a truncated `results/*.json` on
+/// disk where a plotting script or CI comparison would read it.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the temp write or rename.
+pub fn save_json(path: &std::path::Path, value: &serde_json::Value) -> std::io::Result<()> {
+    let text = serde_json::to_string_pretty(value)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    crate::resume::write_atomic(path, text.as_bytes())
+}
+
 /// The stability measures of one (task, device, variant) cell — one bar
 /// group of the paper's Figures 1/2/5/9/10 and one cell of Table 2.
 #[derive(Debug, Clone, Serialize, Deserialize)]

@@ -107,8 +107,10 @@ impl CheckpointStore {
 
 /// Encodes a [`ReplicaResult`] with byte-exact floats (`f32::to_bits` /
 /// `f64::to_bits`): a resumed fleet must reproduce an uninterrupted one
-/// bit-for-bit, and a text codec cannot promise that.
-fn encode_result(r: &ReplicaResult) -> Vec<u8> {
+/// bit-for-bit, and a text codec cannot promise that. Shared with the
+/// fleet IPC layer, which ships the same bytes over a pipe instead of
+/// through a file.
+pub(crate) fn encode_result(r: &ReplicaResult) -> Vec<u8> {
     let mut out = Vec::with_capacity(64 + 4 * r.weights.len());
     out.extend_from_slice(&RESULT_MAGIC.to_le_bytes());
     out.extend_from_slice(&RESULT_VERSION.to_le_bytes());
@@ -190,7 +192,7 @@ impl Reader<'_> {
     }
 }
 
-fn decode_result(bytes: &[u8]) -> io::Result<ReplicaResult> {
+pub(crate) fn decode_result(bytes: &[u8]) -> io::Result<ReplicaResult> {
     let mut r = Reader { buf: bytes, pos: 0 };
     if r.u32()? != RESULT_MAGIC {
         return Err(bad("bad magic"));
@@ -235,8 +237,11 @@ fn decode_result(bytes: &[u8]) -> io::Result<ReplicaResult> {
 }
 
 /// Writes `bytes` atomically (tmp + fsync + rename), so an interrupt
-/// mid-write never leaves a half-written file where resume would read it.
-fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+/// mid-write never leaves a half-written file where a reader would look.
+/// Used for every durable artifact this crate publishes: checkpoint-store
+/// cells here, and (via [`crate::report::save_json`]) the `results/*.json`
+/// reports.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
     let tmp = path.with_extension("tmp");
     {
         let mut f = std::fs::File::create(&tmp)?;
@@ -246,15 +251,17 @@ fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
     std::fs::rename(&tmp, path)
 }
 
-fn status_line(status: &ReplicaStatus) -> String {
+pub(crate) fn status_line(status: &ReplicaStatus) -> String {
     match status {
         ReplicaStatus::Ok => "ok".into(),
         ReplicaStatus::Retried { attempts } => format!("retried {attempts}"),
         ReplicaStatus::Failed { reason } => format!("failed {}", reason.replace('\n', " ")),
+        ReplicaStatus::TimedOut { attempts } => format!("timedout {attempts}"),
+        ReplicaStatus::Crashed { reason } => format!("crashed {}", reason.replace('\n', " ")),
     }
 }
 
-fn parse_status(line: &str) -> Option<ReplicaStatus> {
+pub(crate) fn parse_status(line: &str) -> Option<ReplicaStatus> {
     let line = line.trim();
     if line == "ok" {
         return Some(ReplicaStatus::Ok);
@@ -265,26 +272,37 @@ fn parse_status(line: &str) -> Option<ReplicaStatus> {
             .ok()
             .map(|attempts| ReplicaStatus::Retried { attempts });
     }
+    if let Some(rest) = line.strip_prefix("timedout ") {
+        return rest
+            .parse()
+            .ok()
+            .map(|attempts| ReplicaStatus::TimedOut { attempts });
+    }
+    if let Some(reason) = line.strip_prefix("crashed ") {
+        return Some(ReplicaStatus::Crashed {
+            reason: reason.to_string(),
+        });
+    }
     line.strip_prefix("failed ")
         .map(|reason| ReplicaStatus::Failed {
             reason: reason.to_string(),
         })
 }
 
-fn result_path(dir: &Path, replica: u32) -> PathBuf {
+pub(crate) fn result_path(dir: &Path, replica: u32) -> PathBuf {
     dir.join(format!("r{replica}.result"))
 }
 
-fn status_path(dir: &Path, replica: u32) -> PathBuf {
+pub(crate) fn status_path(dir: &Path, replica: u32) -> PathBuf {
     dir.join(format!("r{replica}.status"))
 }
 
-fn ckpt_path(dir: &Path, replica: u32) -> PathBuf {
+pub(crate) fn ckpt_path(dir: &Path, replica: u32) -> PathBuf {
     dir.join(format!("r{replica}.ckpt"))
 }
 
 /// Rewrites the cell's human-readable progress manifest.
-fn write_manifest(
+pub(crate) fn write_manifest(
     dir: &Path,
     task: &str,
     device: &str,
@@ -351,6 +369,7 @@ fn supervise_resumable(
                     resume: resume.as_ref(),
                     checkpoint_every_epochs,
                     sink: Some(&mut sink),
+                    ..ReplicaOptions::default()
                 },
             )
         }));
@@ -407,6 +426,9 @@ pub fn run_variant_resumable(
     store: &CheckpointStore,
     checkpoint_every_epochs: u32,
 ) -> io::Result<VariantRuns> {
+    settings
+        .validate_for(&prepared.spec)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
     let dir = store.cell_dir(&prepared.spec.name, device.name(), variant);
     std::fs::create_dir_all(&dir)?;
     let n = settings.replicas;
@@ -614,6 +636,10 @@ mod tests {
             ReplicaStatus::Retried { attempts: 3 },
             ReplicaStatus::Failed {
                 reason: "2 attempts exhausted; last: injected".into(),
+            },
+            ReplicaStatus::TimedOut { attempts: 3 },
+            ReplicaStatus::Crashed {
+                reason: "signal 6".into(),
             },
         ] {
             assert_eq!(parse_status(&status_line(&s)), Some(s));

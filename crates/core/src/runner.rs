@@ -113,12 +113,33 @@ pub enum ReplicaStatus {
         /// Human-readable reason from the last attempt.
         reason: String,
     },
+    /// Fleet mode only: every attempt was killed by the supervisor's
+    /// heartbeat watchdog or wall-clock deadline. Like `Failed`, the
+    /// replica has no result. (A worker that times out and then succeeds
+    /// on a retry is recorded as [`ReplicaStatus::Retried`].)
+    TimedOut {
+        /// Total attempts, all killed (= retry budget + 1).
+        attempts: u32,
+    },
+    /// Fleet mode only: the worker process died abnormally (panic exit
+    /// code, signal such as an abort) on every attempt. Like `Failed`,
+    /// the replica has no result.
+    Crashed {
+        /// Exit classification of the last attempt (e.g. `"signal 6"`,
+        /// `"exit code 101"`).
+        reason: String,
+    },
 }
 
 impl ReplicaStatus {
     /// Whether this replica produced no result.
     pub fn is_failed(&self) -> bool {
-        matches!(self, ReplicaStatus::Failed { .. })
+        matches!(
+            self,
+            ReplicaStatus::Failed { .. }
+                | ReplicaStatus::TimedOut { .. }
+                | ReplicaStatus::Crashed { .. }
+        )
     }
 }
 
@@ -256,6 +277,12 @@ pub struct ReplicaOptions<'a> {
     pub checkpoint_every_epochs: u32,
     /// Receives emitted checkpoints (typically: persist to disk).
     pub sink: Option<&'a mut dyn FnMut(&Checkpoint)>,
+    /// Invoke `progress` every N completed optimizer steps (0 disables).
+    /// Pure observation — see [`nnet::trainer::FitOptions`].
+    pub progress_every_steps: u32,
+    /// Receives the global step count at each progress interval (fleet
+    /// workers emit liveness heartbeats from here).
+    pub progress: Option<&'a mut dyn FnMut(u64)>,
 }
 
 impl std::fmt::Debug for ReplicaOptions<'_> {
@@ -265,6 +292,8 @@ impl std::fmt::Debug for ReplicaOptions<'_> {
             .field("resume", &self.resume.map(|c| c.epochs_done))
             .field("checkpoint_every_epochs", &self.checkpoint_every_epochs)
             .field("sink", &self.sink.is_some())
+            .field("progress_every_steps", &self.progress_every_steps)
+            .field("progress", &self.progress.is_some())
             .finish()
     }
 }
@@ -361,6 +390,8 @@ pub fn run_replica_with(
             resume: opts.resume,
             checkpoint_every_epochs: opts.checkpoint_every_epochs,
             sink: opts.sink,
+            progress_every_steps: opts.progress_every_steps,
+            progress: opts.progress,
         },
     )?;
 
@@ -465,12 +496,24 @@ fn supervise_replica(
 /// [`ReplicaStatus::Failed`] in [`VariantRuns::statuses`] and simply
 /// absent from `results` — partial fleets degrade into flagged reports
 /// instead of aborting the experiment.
+///
+/// # Panics
+///
+/// Panics up front (with the rendered
+/// [`crate::settings::SettingsError`]) if the settings or task fail
+/// [`ExperimentSettings::validate_for`] — the one entry point whose
+/// signature predates typed validation. The fallible entry points
+/// (`run_variant_resumable`, fleet dispatch, `repro` parsing) surface
+/// the same error as a `Result` instead.
 pub fn run_variant(
     prepared: &PreparedTask,
     device: &Device,
     variant: NoiseVariant,
     settings: &ExperimentSettings,
 ) -> VariantRuns {
+    if let Err(e) = settings.validate_for(&prepared.spec) {
+        panic!("invalid experiment configuration: {e}");
+    }
     let n = settings.replicas;
     let workers = std::thread::available_parallelism()
         .map(|p| p.get())
@@ -638,6 +681,27 @@ mod tests {
                 other => panic!("expected Failed, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid experiment configuration")]
+    fn run_variant_rejects_invalid_settings_up_front() {
+        let prepared = PreparedTask::prepare(&tiny_task());
+        let settings = ExperimentSettings {
+            replicas: 0,
+            ..tiny_settings()
+        };
+        run_variant(&prepared, &Device::cpu(), NoiseVariant::Control, &settings);
+    }
+
+    #[test]
+    fn fleet_only_statuses_count_as_failed() {
+        assert!(ReplicaStatus::TimedOut { attempts: 3 }.is_failed());
+        assert!(ReplicaStatus::Crashed {
+            reason: "signal 6".into()
+        }
+        .is_failed());
+        assert!(!ReplicaStatus::Retried { attempts: 2 }.is_failed());
     }
 
     #[test]

@@ -163,6 +163,61 @@ fn per_rule_exemptions_disable_only_that_rule() {
     assert_eq!(lines_for(&normal, RuleId::Dl004).len(), 1);
 }
 
+/// The fleet supervisor's `clock` shim is the one sanctioned wall-clock
+/// read in `noisescope::fleet` — scanned here as real workspace source,
+/// not a synthetic fixture.
+#[test]
+fn fleet_clock_shim_is_the_only_sanctioned_wallclock_read() {
+    let src = include_str!("../../core/src/fleet.rs");
+    let report = detlint::scan_file("crates/core/src/fleet.rs", src, &Config::default());
+    assert!(
+        lines_for(&report, RuleId::Dl003).is_empty(),
+        "fleet.rs must have no unsuppressed wall-clock reads: {:?}",
+        report.findings
+    );
+    assert!(report.problems.is_empty(), "{:?}", report.problems);
+    let dl003: Vec<&(detlint::Finding, String)> = report
+        .suppressed
+        .iter()
+        .filter(|(f, _)| f.rule == RuleId::Dl003)
+        .collect();
+    assert_eq!(
+        dl003.len(),
+        1,
+        "exactly one sanctioned clock read (the shim), got {dl003:?}"
+    );
+    assert!(
+        dl003[0].1.contains("watchdog"),
+        "the shim's reason must name its purpose: {:?}",
+        dl003[0].1
+    );
+
+    // Neutralize the allow (preserving line numbers): the shim's
+    // `Instant::now()` must then fire DL003 on its own line — proof the
+    // suppression is load-bearing and covers nothing else.
+    let shim_line = dl003[0].0.line;
+    let stripped = src.replace("// detlint::allow(DL003", "// allow-was-here(DL003");
+    assert_ne!(src, stripped, "the shim's allow comment must exist");
+    let report = detlint::scan_file("crates/core/src/fleet.rs", &stripped, &Config::default());
+    assert_eq!(
+        lines_for(&report, RuleId::Dl003),
+        vec![shim_line],
+        "without the allow, the shim itself must trip DL003"
+    );
+
+    // And a raw Instant::now() added anywhere else in the supervisor
+    // still fires: the shim does not whitelist the file.
+    let patched = format!(
+        "{src}\nfn rogue_deadline() -> std::time::Instant {{ std::time::Instant::now() }}\n"
+    );
+    let report = detlint::scan_file("crates/core/src/fleet.rs", &patched, &Config::default());
+    assert_eq!(
+        lines_for(&report, RuleId::Dl003).len(),
+        1,
+        "a raw wall-clock read outside the shim must fire DL003"
+    );
+}
+
 #[test]
 fn test_code_is_skipped_unless_configured() {
     let src = "#[cfg(test)]\nmod tests {\n #[test]\n fn t() { let x: f64 = v.iter().sum(); }\n}\n";

@@ -8,7 +8,7 @@
 //! `(seed, replica)` — every recovery path is exercisable in CI with a
 //! pinned schedule, and a failing run can be replayed bit-for-bit.
 //!
-//! Three fault kinds exercise the three recovery paths of the supervision
+//! Five fault kinds exercise the recovery paths of the supervision
 //! layer:
 //!
 //! - [`FaultKind::LaunchFailure`] — a kernel launch reports failure. The
@@ -21,6 +21,16 @@
 //! - [`FaultKind::NanPoison`] — a reduction silently produces NaN
 //!   ([`nstensor::Reducer::inject_nan`]), which propagates through
 //!   training until a divergence guard trips (silent-corruption path).
+//! - [`FaultKind::Hang`] — the simulated kernel stalls: a real
+//!   `thread::sleep` of [`ChaosConfig::hang_ms`] milliseconds at the
+//!   planned `(step, op)`. In-process this is merely a slow step (results
+//!   are unaffected — sleeping changes no arithmetic); under the
+//!   process-isolated fleet runner it starves the heartbeat watchdog,
+//!   which kills and re-dispatches the worker (timeout path).
+//! - [`FaultKind::Abort`] — the simulated driver takes down the whole
+//!   process via `std::process::abort`. Uncatchable in-process by design;
+//!   only the fleet supervisor's process isolation recovers from it
+//!   (signal-exit path).
 //!
 //! Faults are **transient** by default: only attempt 0 of a replica is
 //! faulted, so a retried replica re-executes cleanly and — because replicas
@@ -44,31 +54,61 @@ pub struct ChaosConfig {
     pub kernel_panics: u32,
     /// NaN poisonings to plan per faulted attempt.
     pub nan_poisons: u32,
+    /// Kernel hangs (real stalls of [`ChaosConfig::hang_ms`]) to plan per
+    /// faulted attempt.
+    pub hangs: u32,
+    /// Process aborts (`std::process::abort`) to plan per faulted attempt.
+    /// Only survivable under process isolation — arming aborts without the
+    /// fleet runner takes the whole experiment down, which is the point.
+    pub aborts: u32,
+    /// Stall duration of one [`FaultKind::Hang`], in milliseconds.
+    pub hang_ms: u32,
     /// When set, every attempt is faulted (not just attempt 0) — retries
     /// can never succeed, which is how retry-budget exhaustion is tested.
     pub persistent: bool,
 }
 
+/// Default [`ChaosConfig::hang_ms`]: short enough that an in-process run
+/// (where a hang is just a slow step) stays quick, long enough that a
+/// test-scale watchdog window can sit well below it.
+pub const DEFAULT_HANG_MS: u32 = 500;
+
 impl ChaosConfig {
-    /// A single transient fault of each kind.
+    /// A single transient fault of each of the three classic kinds (no
+    /// hangs or aborts — those only make sense under a supervisor that
+    /// can kill and re-dispatch workers).
     pub fn standard(seed: u64) -> Self {
         Self {
             seed,
             launch_failures: 1,
             kernel_panics: 1,
             nan_poisons: 1,
+            hangs: 0,
+            aborts: 0,
+            hang_ms: DEFAULT_HANG_MS,
             persistent: false,
         }
     }
 
-    /// Parses the `NS_CHAOS` syntax: `"<seed>"` (one fault of each kind)
-    /// or `"<seed>:<launch>,<panic>,<nan>"`, with an optional trailing `!`
-    /// for persistent faults. Returns `None` on malformed input.
+    /// Parses the `NS_CHAOS` syntax:
+    /// `"<seed>[:<launch>,<panic>,<nan>[,<hang>[,<abort>]]][@<hang_ms>][!]"`.
+    ///
+    /// - `"<seed>"` alone plans one fault of each classic kind.
+    /// - The 4th and 5th counts (hangs, aborts) are optional and default
+    ///   to 0, so every pre-hang schedule string parses unchanged.
+    /// - `@<hang_ms>` overrides the per-hang stall duration.
+    /// - A trailing `!` makes faults persistent across attempts.
+    ///
+    /// Returns `None` on malformed input.
     pub fn parse(s: &str) -> Option<Self> {
         let s = s.trim();
         let (s, persistent) = match s.strip_suffix('!') {
             Some(rest) => (rest, true),
             None => (s, false),
+        };
+        let (s, hang_ms) = match s.split_once('@') {
+            Some((a, ms)) => (a, Some(ms.trim().parse::<u32>().ok()?)),
+            None => (s, None),
         };
         let (seed_str, counts) = match s.split_once(':') {
             Some((a, b)) => (a, Some(b)),
@@ -77,11 +117,20 @@ impl ChaosConfig {
         let seed: u64 = seed_str.trim().parse().ok()?;
         let mut cfg = Self::standard(seed);
         cfg.persistent = persistent;
+        if let Some(ms) = hang_ms {
+            cfg.hang_ms = ms;
+        }
         if let Some(counts) = counts {
             let mut it = counts.split(',');
             cfg.launch_failures = it.next()?.trim().parse().ok()?;
             cfg.kernel_panics = it.next()?.trim().parse().ok()?;
             cfg.nan_poisons = it.next()?.trim().parse().ok()?;
+            if let Some(h) = it.next() {
+                cfg.hangs = h.trim().parse().ok()?;
+            }
+            if let Some(a) = it.next() {
+                cfg.aborts = a.trim().parse().ok()?;
+            }
             if it.next().is_some() {
                 return None;
             }
@@ -104,7 +153,7 @@ impl ChaosConfig {
 
     /// Total faults planned per faulted attempt.
     pub fn total_faults(&self) -> u32 {
-        self.launch_failures + self.kernel_panics + self.nan_poisons
+        self.launch_failures + self.kernel_panics + self.nan_poisons + self.hangs + self.aborts
     }
 }
 
@@ -118,6 +167,13 @@ pub enum FaultKind {
     KernelPanic,
     /// A reduction silently returns NaN.
     NanPoison,
+    /// The simulated kernel stalls for [`ChaosConfig::hang_ms`]
+    /// milliseconds (a real `thread::sleep`). Results are unaffected;
+    /// under the fleet runner the stall starves the heartbeat watchdog.
+    Hang,
+    /// The simulated driver aborts the whole process
+    /// (`std::process::abort`) — uncatchable except by process isolation.
+    Abort,
 }
 
 /// One planned fault: fires at the `op`-th reducer borrow of training
@@ -138,6 +194,8 @@ pub struct PlannedFault {
 pub struct FaultPlan {
     /// Planned faults, sorted by (step, op).
     faults: Vec<PlannedFault>,
+    /// Stall duration of each planned [`FaultKind::Hang`], in ms.
+    hang_ms: u32,
 }
 
 /// Upper bound on the op index faults are planned at. A training step of
@@ -181,10 +239,15 @@ impl FaultPlan {
         push(FaultKind::LaunchFailure, cfg.launch_failures, &mut rng);
         push(FaultKind::KernelPanic, cfg.kernel_panics, &mut rng);
         push(FaultKind::NanPoison, cfg.nan_poisons, &mut rng);
+        push(FaultKind::Hang, cfg.hangs, &mut rng);
+        push(FaultKind::Abort, cfg.aborts, &mut rng);
         faults.sort_by_key(|f| (f.step, f.op));
         // Two faults landing on the same (step, op) slot: keep the first.
         faults.dedup_by_key(|f| (f.step, f.op));
-        Self { faults }
+        Self {
+            faults,
+            hang_ms: cfg.hang_ms,
+        }
     }
 
     /// Whether the plan contains no faults.
@@ -208,6 +271,11 @@ impl FaultPlan {
     /// The planned faults, sorted by (step, op).
     pub fn faults(&self) -> &[PlannedFault] {
         &self.faults
+    }
+
+    /// Stall duration of each planned [`FaultKind::Hang`], in ms.
+    pub fn hang_ms(&self) -> u32 {
+        self.hang_ms
     }
 }
 
@@ -289,12 +357,31 @@ mod tests {
     }
 
     #[test]
+    fn parse_hang_and_abort_counts() {
+        let c = ChaosConfig::parse("9:0,1,0,2").unwrap();
+        assert_eq!((c.hangs, c.aborts), (2, 0));
+        assert_eq!(c.hang_ms, DEFAULT_HANG_MS);
+        let c = ChaosConfig::parse("9:0,1,0,2,1@1500!").unwrap();
+        assert_eq!((c.hangs, c.aborts), (2, 1));
+        assert_eq!(c.hang_ms, 1500);
+        assert!(c.persistent);
+        assert_eq!(c.total_faults(), 4);
+        // Seed-only form still plans no hangs/aborts and keeps the
+        // default stall duration overridable.
+        let c = ChaosConfig::parse("9@250").unwrap();
+        assert_eq!((c.hangs, c.aborts), (0, 0));
+        assert_eq!(c.hang_ms, 250);
+    }
+
+    #[test]
     fn parse_rejects_garbage() {
         assert!(ChaosConfig::parse("").is_none());
         assert!(ChaosConfig::parse("x").is_none());
         assert!(ChaosConfig::parse("1:2").is_none());
         assert!(ChaosConfig::parse("1:2,3").is_none());
-        assert!(ChaosConfig::parse("1:2,3,4,5").is_none());
+        assert!(ChaosConfig::parse("1:2,3,4,5,6,7").is_none());
+        assert!(ChaosConfig::parse("1@").is_none());
+        assert!(ChaosConfig::parse("1@ms").is_none());
     }
 
     #[test]
@@ -347,5 +434,55 @@ mod tests {
             ..cfg
         };
         assert!(FaultPlan::build(&none, 0, 0, 100).is_empty());
+    }
+
+    #[test]
+    fn hang_and_abort_faults_are_planned_and_carry_duration() {
+        let cfg = ChaosConfig::parse("11:0,0,0,2,1@75").unwrap();
+        let plan = FaultPlan::build(&cfg, 2, 0, 500);
+        assert_eq!(plan.hang_ms(), 75);
+        let hangs = plan
+            .faults()
+            .iter()
+            .filter(|f| f.kind == FaultKind::Hang)
+            .count();
+        let aborts = plan
+            .faults()
+            .iter()
+            .filter(|f| f.kind == FaultKind::Abort)
+            .count();
+        // dedup_by_key can only shrink counts on (step, op) collisions;
+        // with a 500-step horizon these three draws land apart.
+        assert_eq!((hangs, aborts), (2, 1));
+        for f in plan.faults() {
+            assert_eq!(plan.at(f.step, f.op), Some(f.kind));
+        }
+    }
+
+    #[test]
+    fn new_fault_kinds_do_not_shift_classic_schedules() {
+        // Hang/abort draws happen after the classic three, so arming them
+        // leaves the classic kinds' (step, op) placements untouched —
+        // pinned chaos seeds in CI stay stable when a schedule adds hangs.
+        let classic = ChaosConfig::standard(20);
+        let extended = ChaosConfig {
+            hangs: 2,
+            aborts: 1,
+            ..classic
+        };
+        let classic_plan = FaultPlan::build(&classic, 1, 0, 100);
+        let extended_plan = FaultPlan::build(&extended, 1, 0, 100);
+        let classic_subset: Vec<_> = extended_plan
+            .faults()
+            .iter()
+            .filter(|f| {
+                matches!(
+                    f.kind,
+                    FaultKind::LaunchFailure | FaultKind::KernelPanic | FaultKind::NanPoison
+                )
+            })
+            .copied()
+            .collect();
+        assert_eq!(classic_plan.faults(), classic_subset.as_slice());
     }
 }

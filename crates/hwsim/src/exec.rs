@@ -246,10 +246,13 @@ impl ExecutionContext {
     /// fault at this `(step, op)` index fires here: a
     /// [`FaultKind::KernelPanic`] panics the calling thread, a
     /// [`FaultKind::LaunchFailure`] is recorded for
-    /// [`ExecutionContext::take_fault`], and a [`FaultKind::NanPoison`]
+    /// [`ExecutionContext::take_fault`], a [`FaultKind::NanPoison`]
     /// arms a one-shot NaN on the next direct-reduction class
     /// (`WeightGrad`/`Statistics`/`Misc` — matmul classes run through
-    /// pre-drawn plans that never materialize a poisoned scalar).
+    /// pre-drawn plans that never materialize a poisoned scalar), a
+    /// [`FaultKind::Hang`] stalls the calling thread for the plan's
+    /// configured duration, and a [`FaultKind::Abort`] takes the whole
+    /// process down.
     pub fn reducer(&mut self, class: OpClass) -> &mut Reducer {
         if let Some(chaos) = self.chaos.as_deref_mut() {
             let op = chaos.op_in_step;
@@ -270,6 +273,19 @@ impl ExecutionContext {
                 }
                 Some(FaultKind::LaunchFailure) => {}
                 Some(FaultKind::NanPoison) => chaos.nan_pending = true,
+                Some(FaultKind::Hang) => {
+                    // A real stall, not a simulated one: the thread sleeps
+                    // through the planned hang. Arithmetic is untouched, so
+                    // in-process results are bit-identical; under the fleet
+                    // runner the silence starves the heartbeat watchdog.
+                    std::thread::sleep(std::time::Duration::from_millis(
+                        chaos.plan.hang_ms() as u64
+                    ));
+                }
+                Some(FaultKind::Abort) => {
+                    eprintln!("hwsim chaos: injected abort at step {} op {op}", chaos.step);
+                    std::process::abort();
+                }
                 None => {}
             }
             if chaos.nan_pending
@@ -601,6 +617,49 @@ mod tests {
         for _ in 0..8 {
             ctx.reducer(OpClass::Misc).sum(&[1.0]);
         }
+    }
+
+    #[test]
+    fn hang_stalls_but_does_not_perturb_results() {
+        use crate::chaos::{ChaosConfig, FaultPlan};
+        // One hang of 60ms over a 1-step horizon: it must fire within the
+        // first OPS_PER_STEP borrows of step 0 and change nothing else.
+        let cfg = ChaosConfig::parse("4:0,0,0,1@60").unwrap();
+        let plan = FaultPlan::build(&cfg, 0, 0, 1);
+        assert_eq!(plan.len(), 1);
+        let mut armed = ExecutionContext::builder(Device::v100())
+            .entropy(4)
+            .chaos(plan)
+            .build();
+        let mut clean = ExecutionContext::builder(Device::v100()).entropy(4).build();
+        armed.begin_step(0);
+        clean.begin_step(0);
+        let xs = [1.0f32, 2.0, 3.0];
+        let start = std::time::Instant::now();
+        for _ in 0..8 {
+            assert_eq!(
+                armed.reducer(OpClass::Misc).sum(&xs).to_bits(),
+                clean.reducer(OpClass::Misc).sum(&xs).to_bits(),
+            );
+        }
+        assert!(
+            start.elapsed() >= std::time::Duration::from_millis(60),
+            "hang never stalled"
+        );
+        assert!(armed.take_fault().is_none(), "a hang is not an error");
+    }
+
+    #[test]
+    fn abort_is_planned_but_never_fired_here() {
+        use crate::chaos::{ChaosConfig, FaultPlan};
+        // Firing an abort would take the test harness down, which is
+        // exactly the property that motivates process isolation; here we
+        // only prove the schedule carries it to the firing point.
+        let cfg = ChaosConfig::parse("4:0,0,0,0,1").unwrap();
+        let plan = FaultPlan::build(&cfg, 0, 0, 1);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan.faults()[0].kind, crate::chaos::FaultKind::Abort);
+        assert!(plan.faults()[0].op < 4);
     }
 
     #[test]

@@ -265,6 +265,13 @@ pub struct FitOptions<'a> {
     pub checkpoint_every_epochs: u32,
     /// Receives each emitted checkpoint (typically: persist it to disk).
     pub sink: Option<&'a mut dyn FnMut(&Checkpoint)>,
+    /// Invoke `progress` after every N completed optimizer steps
+    /// (0 disables). Pure observation: the hook sees the global step
+    /// count and cannot perturb training, so arming it is bit-free.
+    pub progress_every_steps: u32,
+    /// Receives the global step count at each progress interval
+    /// (typically: emit a liveness heartbeat to a supervisor).
+    pub progress: Option<&'a mut dyn FnMut(u64)>,
 }
 
 impl fmt::Debug for FitOptions<'_> {
@@ -273,6 +280,8 @@ impl fmt::Debug for FitOptions<'_> {
             .field("resume", &self.resume.map(|c| c.epochs_done))
             .field("checkpoint_every_epochs", &self.checkpoint_every_epochs)
             .field("sink", &self.sink.is_some())
+            .field("progress_every_steps", &self.progress_every_steps)
+            .field("progress", &self.progress.is_some())
             .finish()
     }
 }
@@ -443,6 +452,13 @@ impl Trainer {
                 loss_sum += loss as f64;
                 batches += 1;
                 step += 1;
+                if opts.progress_every_steps > 0
+                    && step.is_multiple_of(opts.progress_every_steps as u64)
+                {
+                    if let Some(progress) = opts.progress.as_mut() {
+                        progress(step);
+                    }
+                }
             }
             epoch_losses.push((loss_sum / batches.max(1) as f64) as f32);
             if opts.checkpoint_every_epochs > 0 && (epoch + 1) % opts.checkpoint_every_epochs == 0 {
@@ -871,6 +887,7 @@ mod tests {
                     resume: None,
                     checkpoint_every_epochs: 3,
                     sink: Some(&mut sink),
+                    ..FitOptions::default()
                 },
             )
             .expect("interrupted run");
@@ -890,6 +907,7 @@ mod tests {
                     resume: Some(&ck),
                     checkpoint_every_epochs: 0,
                     sink: None,
+                    ..FitOptions::default()
                 },
             )
             .expect("resumed run");
@@ -928,6 +946,7 @@ mod tests {
                 resume: None,
                 checkpoint_every_epochs: 1,
                 sink: Some(&mut sink),
+                ..FitOptions::default()
             },
         )
         .expect("train");
@@ -947,6 +966,7 @@ mod tests {
                 resume: Some(&ck),
                 checkpoint_every_epochs: 0,
                 sink: None,
+                ..FitOptions::default()
             },
         )
         .expect_err("mismatched checkpoint must be rejected");
@@ -966,6 +986,9 @@ mod tests {
             launch_failures: 0,
             kernel_panics: 0,
             nan_poisons: 1,
+            hangs: 0,
+            aborts: 0,
+            hang_ms: 0,
             persistent: false,
         };
         // 5 epochs × 2 steps/epoch at batch 32.
