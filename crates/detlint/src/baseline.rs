@@ -1,0 +1,227 @@
+//! Checked-in baseline: known findings warn, new findings fail.
+//!
+//! Adopting a new rule on a living tree should not require fixing every
+//! historical hit in one PR. `detlint --write-baseline` records the
+//! current findings; subsequent `--baseline` runs match findings against
+//! that record and demote matches to *grandfathered* (reported, but not
+//! gate-failing). Anything not in the baseline is new and fails as
+//! usual.
+//!
+//! Matching is by `(rule, file, context)` where `context` is an FNV-1a 64
+//! hash of the finding line's trimmed source text — so a finding keeps
+//! its grandfathered status when unrelated edits shift its line number,
+//! but loses it when the hazardous line itself changes. Entries are a
+//! multiset: two identical hazards on identical lines need two entries.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use serde_json::Value;
+
+use crate::cache::fnv1a64;
+use crate::{RuleId, ScanReport};
+
+/// One grandfathered finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// The rule that fired.
+    pub rule: RuleId,
+    /// Workspace-relative path.
+    pub file: String,
+    /// Line at capture time — informational only, not used for matching.
+    pub line: u32,
+    /// FNV-1a 64 of the finding line's trimmed text.
+    pub context: u64,
+}
+
+/// A loaded (or freshly captured) baseline.
+#[derive(Debug, Default, Clone)]
+pub struct Baseline {
+    /// Entries in capture order.
+    pub entries: Vec<Entry>,
+}
+
+/// Hashes the context line for a finding: the trimmed text of `line`
+/// (1-based) in `source`, or the empty string when out of range.
+pub fn line_context(source: &str, line: u32) -> u64 {
+    let text = line
+        .checked_sub(1)
+        .and_then(|i| source.lines().nth(i as usize))
+        .unwrap_or("")
+        .trim();
+    fnv1a64(text.as_bytes())
+}
+
+impl Baseline {
+    /// Captures the report's current findings against the sources under
+    /// `root`.
+    pub fn capture(report: &ScanReport, root: &Path) -> std::io::Result<Baseline> {
+        let mut sources: BTreeMap<&str, String> = BTreeMap::new();
+        let mut entries = Vec::new();
+        for f in &report.findings {
+            if !sources.contains_key(f.file.as_str()) {
+                let text = std::fs::read_to_string(root.join(&f.file)).unwrap_or_default();
+                sources.insert(&f.file, text);
+            }
+            entries.push(Entry {
+                rule: f.rule,
+                file: f.file.clone(),
+                line: f.line,
+                context: line_context(&sources[f.file.as_str()], f.line),
+            });
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Loads a baseline file.
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let doc: Value = serde_json::from_str(&text)
+            .map_err(|e| format!("{}: invalid JSON: {e:?}", path.display()))?;
+        let entries = doc
+            .get("entries")
+            .and_then(Value::as_array)
+            .ok_or_else(|| format!("{}: missing `entries` array", path.display()))?;
+        let mut out = Vec::new();
+        for (i, e) in entries.iter().enumerate() {
+            let parse = || -> Option<Entry> {
+                Some(Entry {
+                    rule: RuleId::parse(e.get("rule")?.as_str()?)?,
+                    file: e.get("file")?.as_str()?.to_string(),
+                    line: u32::try_from(e.get("line")?.as_u64()?).ok()?,
+                    context: u64::from_str_radix(e.get("context")?.as_str()?, 16).ok()?,
+                })
+            };
+            out.push(parse().ok_or_else(|| format!("{}: bad entry #{i}", path.display()))?);
+        }
+        Ok(Baseline { entries: out })
+    }
+
+    /// Serializes the baseline (stable order: sorted entries).
+    pub fn to_json(&self) -> Value {
+        let mut entries = self.entries.clone();
+        entries.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+        serde_json::json!({
+            "version": 1,
+            "entries": entries
+                .iter()
+                .map(|e| {
+                    serde_json::json!({
+                        "rule": e.rule.as_str(),
+                        "file": e.file,
+                        "line": e.line,
+                        "context": format!("{:016x}", e.context),
+                    })
+                })
+                .collect::<Vec<_>>(),
+        })
+    }
+
+    /// Writes the baseline atomically (tmp + rename).
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let text = serde_json::to_string_pretty(&self.to_json())
+            .map_err(|e| std::io::Error::other(format!("{e:?}")))?;
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, text + "\n")?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Splits `report.findings` against the baseline: matched findings
+    /// move to `report.grandfathered`, the rest stay gate-failing.
+    pub fn apply(&self, report: &mut ScanReport, root: &Path) {
+        // Multiset of available entries.
+        let mut budget: BTreeMap<(RuleId, String, u64), usize> = BTreeMap::new();
+        for e in &self.entries {
+            *budget
+                .entry((e.rule, e.file.clone(), e.context))
+                .or_insert(0) += 1;
+        }
+        let mut sources: BTreeMap<String, String> = BTreeMap::new();
+        let findings = std::mem::take(&mut report.findings);
+        for f in findings {
+            let source = sources
+                .entry(f.file.clone())
+                .or_insert_with(|| std::fs::read_to_string(root.join(&f.file)).unwrap_or_default());
+            let ctx = line_context(source, f.line);
+            match budget.get_mut(&(f.rule, f.file.clone(), ctx)) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    report.grandfathered.push(f);
+                }
+                _ => report.findings.push(f),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Config;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("detlint-baseline-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(dir.join("src")).unwrap();
+        dir
+    }
+
+    #[test]
+    fn baseline_round_trips_to_zero_new_findings() {
+        let dir = tmpdir("rt");
+        let hazard = "pub fn f(xs: &[f32]) -> f32 {\n    xs.iter().sum()\n}\n";
+        std::fs::write(dir.join("src/lib.rs"), hazard).unwrap();
+        let config = Config::default();
+        let mut report = crate::scan_workspace(&dir, &config).unwrap();
+        assert_eq!(report.findings.len(), 1);
+
+        let baseline = Baseline::capture(&report, &dir).unwrap();
+        let path = dir.join("detlint.baseline.json");
+        baseline.save(&path).unwrap();
+        let reloaded = Baseline::load(&path).unwrap();
+        assert_eq!(reloaded.entries, baseline.entries);
+
+        reloaded.apply(&mut report, &dir);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        assert_eq!(report.grandfathered.len(), 1);
+        assert!(report.clean(), "grandfathered findings must not fail");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn new_findings_stay_failing_and_context_pins_the_line_text() {
+        let dir = tmpdir("new");
+        std::fs::write(
+            dir.join("src/lib.rs"),
+            "pub fn f(xs: &[f32]) -> f32 {\n    xs.iter().sum()\n}\n",
+        )
+        .unwrap();
+        let config = Config::default();
+        let report = crate::scan_workspace(&dir, &config).unwrap();
+        let baseline = Baseline::capture(&report, &dir).unwrap();
+
+        // A *different* hazard line is not covered by the old context.
+        std::fs::write(
+            dir.join("src/lib.rs"),
+            "pub fn f(ys: &[f64]) -> f64 {\n    ys.iter().product()\n}\n",
+        )
+        .unwrap();
+        let mut report = crate::scan_workspace(&dir, &config).unwrap();
+        baseline.apply(&mut report, &dir);
+        assert_eq!(report.findings.len(), 1, "changed hazard must be new");
+        assert!(report.grandfathered.is_empty());
+
+        // Line drift without text change keeps grandfathered status.
+        std::fs::write(
+            dir.join("src/lib.rs"),
+            "// a comment pushing everything down\n\
+             pub fn f(xs: &[f32]) -> f32 {\n    xs.iter().sum()\n}\n",
+        )
+        .unwrap();
+        let mut report = crate::scan_workspace(&dir, &config).unwrap();
+        baseline.apply(&mut report, &dir);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        assert_eq!(report.grandfathered.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

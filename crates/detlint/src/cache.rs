@@ -1,0 +1,334 @@
+//! Incremental scan cache keyed by file content hash.
+//!
+//! The CI gate rescans the whole workspace on every run; as the tree
+//! grows, so does the wall-clock cost. Per-file scan results only depend
+//! on the file's bytes, its workspace-relative path, and the run
+//! configuration, so they can be reused verbatim when none of those
+//! changed. The cache is a single JSON document (default
+//! `target/detlint-cache.json`) holding, per file, an FNV-1a 64 content
+//! hash and the file's serialized [`ScanReport`]; a cache-wide
+//! fingerprint covers the config and [`ANALYSIS_VERSION`], so a rule
+//! change or config edit invalidates everything at once.
+//!
+//! A warm run must be **bit-identical** to a cold run: cached per-file
+//! reports are replayed through the same merge/sort pipeline as fresh
+//! ones, and cache statistics are reported on stderr only, never in the
+//! report itself.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use serde_json::Value;
+
+use crate::config::Config;
+use crate::{Finding, Problem, RuleId, ScanReport};
+
+/// Bump when rule behavior changes so stale caches self-invalidate even
+/// if the config text is unchanged.
+pub const ANALYSIS_VERSION: u32 = 2;
+
+/// FNV-1a 64-bit — tiny, dependency-free, and stable across platforms.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One fingerprint over everything that can change scan results besides
+/// the file bytes themselves.
+pub fn config_fingerprint(config: &Config) -> u64 {
+    fnv1a64(format!("v{ANALYSIS_VERSION}:{config:?}").as_bytes())
+}
+
+/// How much of the run was served from cache.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CacheStats {
+    /// Files whose cached report was reused.
+    pub hits: usize,
+    /// Files that were (re)analyzed.
+    pub misses: usize,
+}
+
+impl CacheStats {
+    /// Total files considered.
+    pub fn total(&self) -> usize {
+        self.hits + self.misses
+    }
+}
+
+/// The on-disk cache: config fingerprint plus per-file entries.
+#[derive(Debug, Default)]
+pub struct Cache {
+    fingerprint: u64,
+    /// rel path → (content hash, serialized per-file report).
+    files: BTreeMap<String, (u64, Value)>,
+}
+
+impl Cache {
+    /// Loads the cache, returning an empty one on any mismatch or error —
+    /// a broken cache must degrade to a cold run, never fail the lint.
+    pub fn load(path: &Path, config: &Config) -> Cache {
+        let fingerprint = config_fingerprint(config);
+        let fresh = Cache {
+            fingerprint,
+            files: BTreeMap::new(),
+        };
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return fresh;
+        };
+        let Ok(doc) = serde_json::from_str::<Value>(&text) else {
+            return fresh;
+        };
+        if doc.get("analysis_version").and_then(Value::as_u64) != Some(u64::from(ANALYSIS_VERSION))
+            || doc.get("config").and_then(Value::as_str) != Some(&format!("{fingerprint:016x}"))
+        {
+            return fresh;
+        }
+        let mut files = BTreeMap::new();
+        if let Some(map) = doc.get("files").and_then(Value::as_object) {
+            for (rel, entry) in map {
+                let Some(hash) = entry
+                    .get("hash")
+                    .and_then(Value::as_str)
+                    .and_then(|h| u64::from_str_radix(h, 16).ok())
+                else {
+                    continue;
+                };
+                let Some(report) = entry.get("report") else {
+                    continue;
+                };
+                files.insert(rel.clone(), (hash, report.clone()));
+            }
+        }
+        Cache { fingerprint, files }
+    }
+
+    /// Saves atomically (tmp + rename). Best-effort: a read-only target
+    /// directory must not fail the lint, so errors are swallowed.
+    pub fn save(&self, path: &Path) {
+        let mut files = BTreeMap::new();
+        for (rel, (hash, report)) in &self.files {
+            let mut entry = BTreeMap::new();
+            entry.insert("hash".to_string(), Value::Str(format!("{hash:016x}")));
+            entry.insert("report".to_string(), report.clone());
+            files.insert(rel.clone(), Value::Obj(entry));
+        }
+        let doc = serde_json::json!({
+            "analysis_version": ANALYSIS_VERSION,
+            "config": format!("{:016x}", self.fingerprint),
+            "files": Value::Obj(files),
+        });
+        let Ok(text) = serde_json::to_string_pretty(&doc) else {
+            return;
+        };
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        let tmp = path.with_extension("json.tmp");
+        if std::fs::write(&tmp, text).is_ok() {
+            let _ = std::fs::rename(&tmp, path);
+        }
+    }
+}
+
+/// [`crate::scan_workspace`] with an incremental cache. Produces the
+/// exact report a cold scan would, plus hit/miss statistics; when
+/// `cache_path` is given the refreshed cache is written back.
+pub fn scan_workspace_cached(
+    root: &Path,
+    config: &Config,
+    cache_path: Option<&Path>,
+) -> std::io::Result<(ScanReport, CacheStats)> {
+    let mut cache = match cache_path {
+        Some(p) => Cache::load(p, config),
+        None => Cache {
+            fingerprint: config_fingerprint(config),
+            files: BTreeMap::new(),
+        },
+    };
+    let files = crate::workspace_files(root, config)?;
+    let mut report = ScanReport::default();
+    let mut stats = CacheStats::default();
+    let mut next_files = BTreeMap::new();
+    for rel in &files {
+        let source = std::fs::read_to_string(root.join(rel))?;
+        let hash = fnv1a64(source.as_bytes());
+        let cached = cache
+            .files
+            .get(rel)
+            .filter(|(h, _)| *h == hash)
+            .and_then(|(_, v)| report_from_value(v));
+        let file_report = match cached {
+            Some(r) => {
+                stats.hits += 1;
+                r
+            }
+            None => {
+                stats.misses += 1;
+                crate::scan_file(rel, &source, config)
+            }
+        };
+        next_files.insert(rel.clone(), (hash, report_to_value(&file_report)));
+        report.merge_file(file_report);
+    }
+    report.sort();
+    cache.files = next_files;
+    if let Some(p) = cache_path {
+        cache.save(p);
+    }
+    Ok((report, stats))
+}
+
+fn finding_to_value(f: &Finding) -> Value {
+    serde_json::json!({
+        "rule": f.rule.as_str(),
+        "file": f.file,
+        "line": f.line,
+        "message": f.message,
+    })
+}
+
+fn finding_from_value(v: &Value) -> Option<Finding> {
+    Some(Finding {
+        rule: RuleId::parse(v.get("rule")?.as_str()?)?,
+        file: v.get("file")?.as_str()?.to_string(),
+        line: u32::try_from(v.get("line")?.as_u64()?).ok()?,
+        message: v.get("message")?.as_str()?.to_string(),
+    })
+}
+
+/// Serializes one file's report for the cache.
+fn report_to_value(r: &ScanReport) -> Value {
+    serde_json::json!({
+        "findings": r.findings.iter().map(finding_to_value).collect::<Vec<_>>(),
+        "suppressed": r
+            .suppressed
+            .iter()
+            .map(|(f, reason)| {
+                let mut v = finding_to_value(f);
+                if let Value::Obj(m) = &mut v {
+                    m.insert("reason".to_string(), Value::Str(reason.clone()));
+                }
+                v
+            })
+            .collect::<Vec<_>>(),
+        "problems": r
+            .problems
+            .iter()
+            .map(|p| {
+                serde_json::json!({
+                    "file": p.file,
+                    "line": p.line,
+                    "message": p.message,
+                })
+            })
+            .collect::<Vec<_>>(),
+        "unused_allows": r
+            .unused_allows
+            .iter()
+            .map(|(file, line, rule)| {
+                serde_json::json!({
+                    "file": file,
+                    "line": line,
+                    "rule": rule.as_str(),
+                })
+            })
+            .collect::<Vec<_>>(),
+    })
+}
+
+/// Decodes one file's cached report; `None` on any shape mismatch, which
+/// the caller treats as a cache miss.
+fn report_from_value(v: &Value) -> Option<ScanReport> {
+    let mut r = ScanReport {
+        files_scanned: 1,
+        ..ScanReport::default()
+    };
+    for f in v.get("findings")?.as_array()? {
+        r.findings.push(finding_from_value(f)?);
+    }
+    for f in v.get("suppressed")?.as_array()? {
+        let reason = f.get("reason")?.as_str()?.to_string();
+        r.suppressed.push((finding_from_value(f)?, reason));
+    }
+    for p in v.get("problems")?.as_array()? {
+        r.problems.push(Problem {
+            file: p.get("file")?.as_str()?.to_string(),
+            line: u32::try_from(p.get("line")?.as_u64()?).ok()?,
+            message: p.get("message")?.as_str()?.to_string(),
+        });
+    }
+    for u in v.get("unused_allows")?.as_array()? {
+        r.unused_allows.push((
+            u.get("file")?.as_str()?.to_string(),
+            u32::try_from(u.get("line")?.as_u64()?).ok()?,
+            RuleId::parse(u.get("rule")?.as_str()?)?,
+        ));
+    }
+    Some(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn per_file_report_round_trips() {
+        let src = "fn f(xs: &[f32]) -> f32 {\n xs.iter().sum()\n}\n\
+                   // detlint::allow(DL001, reason = \"demo\")\nfn g() {}\n";
+        let report = crate::scan_file("src/x.rs", src, &Config::default());
+        let decoded = report_from_value(&report_to_value(&report)).expect("round trip");
+        assert_eq!(decoded.findings, report.findings);
+        assert_eq!(decoded.suppressed, report.suppressed);
+        assert_eq!(decoded.problems, report.problems);
+        assert_eq!(decoded.unused_allows, report.unused_allows);
+    }
+
+    #[test]
+    fn warm_run_is_bit_identical_and_all_hits() {
+        let dir = std::env::temp_dir().join(format!("detlint-cache-test-{}", std::process::id()));
+        let src_dir = dir.join("src");
+        std::fs::create_dir_all(&src_dir).unwrap();
+        std::fs::write(
+            src_dir.join("lib.rs"),
+            "pub fn f(xs: &[f32]) -> f32 {\n    xs.iter().sum()\n}\n",
+        )
+        .unwrap();
+        std::fs::write(src_dir.join("ok.rs"), "pub fn g() -> u32 { 7 }\n").unwrap();
+        let config = Config::default();
+        let cache_path = dir.join("cache.json");
+        let (cold, cold_stats) = scan_workspace_cached(&dir, &config, Some(&cache_path)).unwrap();
+        assert_eq!(cold_stats.hits, 0);
+        assert_eq!(cold_stats.misses, 2);
+        let (warm, warm_stats) = scan_workspace_cached(&dir, &config, Some(&cache_path)).unwrap();
+        assert_eq!(warm_stats.misses, 0, "warm run must re-analyze nothing");
+        assert_eq!(warm_stats.hits, 2);
+        let render = |r: &ScanReport| {
+            (
+                crate::report::human(r),
+                serde_json::to_string(&crate::report::json(r)).unwrap(),
+            )
+        };
+        assert_eq!(render(&cold), render(&warm), "warm must be bit-identical");
+        // Touching a file re-analyzes exactly that file.
+        std::fs::write(src_dir.join("ok.rs"), "pub fn g() -> u32 { 8 }\n").unwrap();
+        let (_, touched) = scan_workspace_cached(&dir, &config, Some(&cache_path)).unwrap();
+        assert_eq!(touched.misses, 1);
+        assert_eq!(touched.hits, 1);
+        // A config change invalidates the whole cache.
+        let mut cfg2 = config.clone();
+        cfg2.registered_env.push("NS_FAKE".to_string());
+        let (_, invalidated) = scan_workspace_cached(&dir, &cfg2, Some(&cache_path)).unwrap();
+        assert_eq!(invalidated.hits, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

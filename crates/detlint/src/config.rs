@@ -22,6 +22,13 @@ pub struct Config {
     /// Per-rule path-prefix exemptions, e.g. the entropy module is the one
     /// place allowed to touch OS randomness.
     pub exempt: BTreeMap<RuleId, Vec<String>>,
+    /// Env-var names registered as sanctioned experiment knobs (DL008's
+    /// registry; `[rules.DL008] registered = [...]`). Anything Settings
+    /// reads and folds into the experiment fingerprint belongs here.
+    pub registered_env: Vec<String>,
+    /// Audit mode (`--audit`): stale allows become DL009 findings
+    /// instead of warnings. Set by the CLI, not by `detlint.toml`.
+    pub audit: bool,
 }
 
 impl Default for Config {
@@ -30,6 +37,8 @@ impl Default for Config {
             exclude: vec!["target".into(), ".git".into()],
             scan_test_code: false,
             exempt: BTreeMap::new(),
+            registered_env: Vec::new(),
+            audit: false,
         }
     }
 }
@@ -85,6 +94,9 @@ impl Config {
                 (Some(rule), "exempt") => {
                     cfg.exempt.insert(rule, parse_string_array(&value, idx)?);
                 }
+                (Some(RuleId::Dl008), "registered") => {
+                    cfg.registered_env = parse_string_array(&value, idx)?;
+                }
                 (_, k) => {
                     return Err(format!("line {}: unknown key `{k}`", idx + 1));
                 }
@@ -103,6 +115,11 @@ impl Config {
         self.exempt
             .get(&rule)
             .is_some_and(|ps| ps.iter().any(|p| path_has_prefix(rel_path, p)))
+    }
+
+    /// `true` if `name` is a registered experiment knob (DL008).
+    pub fn dl008_registered(&self, name: &str) -> bool {
+        self.registered_env.iter().any(|n| n == name)
     }
 
     /// `true` if the path is test/bench code by convention.

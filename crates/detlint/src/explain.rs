@@ -1,0 +1,256 @@
+//! `--explain DLxxx`: rule rationale plus bad/good examples.
+//!
+//! The examples are not prose — they are extracted at compile time from
+//! the fixture corpus under `tests/fixtures/`, the same sources the
+//! fixture tests assert against. A `bad` example is a region the rule is
+//! proven to fire on; a `good` example is proven quiet. The no-rot tests
+//! at the bottom re-scan every extracted example, so an explanation can
+//! never drift out of sync with what the analyzer actually does.
+//!
+//! Markup inside a fixture:
+//!
+//! ```text
+//! // <explain:DL006:bad>
+//! pub fn tainted_sum(...) { ... }
+//! // </explain:DL006:bad>
+//! ```
+
+use crate::RuleId;
+
+/// Fixture sources holding `// <explain:DLxxx:bad|good>` regions.
+const CORPUS: &[&str] = &[
+    include_str!("../tests/fixtures/clean.rs"),
+    include_str!("../tests/fixtures/dl001_hashmap_iter.rs"),
+    include_str!("../tests/fixtures/dl002_entropy.rs"),
+    include_str!("../tests/fixtures/dl003_wallclock.rs"),
+    include_str!("../tests/fixtures/dl004_float_sum.rs"),
+    include_str!("../tests/fixtures/dl005_parallel.rs"),
+    include_str!("../tests/fixtures/dl006_taint_flow.rs"),
+    include_str!("../tests/fixtures/dl007_entropy_boundary.rs"),
+    include_str!("../tests/fixtures/dl008_env_knob.rs"),
+    include_str!("../tests/fixtures/dl009_stale_allow.rs"),
+    include_str!("../tests/fixtures/suppressed.rs"),
+];
+
+/// Everything `--explain` knows about one rule.
+pub struct Explanation {
+    pub rule: RuleId,
+    pub rationale: &'static str,
+    pub bad: Option<String>,
+    pub good: Option<String>,
+}
+
+/// Assemble the explanation for one rule.
+pub fn explain(rule: RuleId) -> Explanation {
+    Explanation {
+        rule,
+        rationale: rationale(rule),
+        bad: example(rule, "bad"),
+        good: example(rule, "good"),
+    }
+}
+
+/// Render the explanation as the text `--explain` prints.
+pub fn render(rule: RuleId) -> String {
+    let ex = explain(rule);
+    let mut out = format!(
+        "{} [{}] — {}\n\n{}\n",
+        rule.as_str(),
+        rule.taxonomy().as_str(),
+        rule.summary(),
+        ex.rationale.trim(),
+    );
+    if let Some(bad) = &ex.bad {
+        out.push_str("\nHazard (fires):\n\n");
+        push_indented(&mut out, bad);
+    }
+    if let Some(good) = &ex.good {
+        out.push_str("\nSanctioned pattern (quiet):\n\n");
+        push_indented(&mut out, good);
+    }
+    out
+}
+
+fn push_indented(out: &mut String, block: &str) {
+    for line in block.lines() {
+        out.push_str("    ");
+        out.push_str(line);
+        out.push('\n');
+    }
+}
+
+/// Extract the marked region for `(rule, kind)` from the corpus. The
+/// `// fires:` annotations the fixture tests key on are stripped — they
+/// are test markup, not part of the example.
+fn example(rule: RuleId, kind: &str) -> Option<String> {
+    let open = format!("// <explain:{}:{kind}>", rule.as_str());
+    let close = format!("// </explain:{}:{kind}>", rule.as_str());
+    for src in CORPUS {
+        let mut region = Vec::new();
+        let mut inside = false;
+        for line in src.lines() {
+            let trimmed = line.trim();
+            if trimmed == open {
+                inside = true;
+                continue;
+            }
+            if trimmed == close {
+                return Some(region.join("\n"));
+            }
+            if inside {
+                let kept = match line.find("// fires:") {
+                    Some(at) => line[..at].trim_end(),
+                    None => line,
+                };
+                region.push(kept.to_string());
+            }
+        }
+    }
+    None
+}
+
+fn rationale(rule: RuleId) -> &'static str {
+    match rule {
+        RuleId::Dl001 => {
+            "HashMap and HashSet iterate in an order derived from the hasher's\n\
+             per-process random keys, so two runs of the same binary walk the\n\
+             same container differently. Any sink that observes that order —\n\
+             accumulation, serialization, printing — inherits the randomness.\n\
+             Route aggregates through BTreeMap/BTreeSet, or sort before\n\
+             consuming."
+        }
+        RuleId::Dl002 => {
+            "An RNG seeded from OS entropy or the wall clock draws a different\n\
+             stream every run, which makes the run unreproducible by\n\
+             construction. All randomness must derive from the experiment\n\
+             seed via the deterministic seed tree, so any replica can be\n\
+             replayed bit-identically from its Settings."
+        }
+        RuleId::Dl003 => {
+            "Wall-clock reads differ across runs and hosts. A timestamp that\n\
+             leaks into a result artifact makes bit-identical comparison\n\
+             impossible even when the actual numerics are deterministic.\n\
+             Timing belongs in bench code or in explicitly audited\n\
+             diagnostics, never in serialized results."
+        }
+        RuleId::Dl004 => {
+            "Float addition is not associative: (a + b) + c and a + (b + c)\n\
+             round differently, so the same multiset of floats summed in two\n\
+             orders yields two bit patterns. Every float reduction must go\n\
+             through the ordered helpers (`sum_ordered_f64`/`f32`), which fix\n\
+             a left-to-right order regardless of how the caller iterates."
+        }
+        RuleId::Dl005 => {
+            "Parallel combinators combine partial results in scheduling order,\n\
+             so a float reduction over `par_iter` forms a different\n\
+             combination tree on every run. Reduce within fixed shards in\n\
+             index order, then combine the per-shard results in index order."
+        }
+        RuleId::Dl006 => {
+            "The dataflow variant of DL001/DL005: the unordered source and the\n\
+             float sink sit in different statements, so no single line looks\n\
+             wrong. detlint tracks Unordered taint through let-bindings,\n\
+             renames, and loop headers; sorting the data, collecting into an\n\
+             ordered container, or handing it to a sanctioned ordered\n\
+             reduction clears the taint."
+        }
+        RuleId::Dl007 => {
+            "A sequential RNG draw is a function of the RNG cursor at call\n\
+             time. Capture one in a spawned closure or an IPC frame and the\n\
+             computation now encodes scheduling history — replaying a single\n\
+             replica from its Settings no longer reproduces it. Cross the\n\
+             boundary with the replica index instead and re-derive the\n\
+             stream on the far side (`entropy_for`, `rng_at`, snapshots)."
+        }
+        RuleId::Dl008 => {
+            "An environment variable that feeds a numeric path is an\n\
+             experiment knob. If it is not registered in Settings it changes\n\
+             results without appearing in the experiment fingerprint, so two\n\
+             \"identical\" runs can silently differ. Register the name (and\n\
+             list it in detlint.toml) or keep the read off numeric paths."
+        }
+        RuleId::Dl009 => {
+            "A `detlint::allow` whose rule no longer fires on the line it\n\
+             covers is stale: it documents a hazard that does not exist and\n\
+             will silently mask the next real one introduced nearby. Under\n\
+             `--audit` stale allows are findings, not warnings — delete them\n\
+             or re-justify them. DL009 itself cannot be suppressed."
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::scan_file;
+
+    /// Scan one extracted example as if it were a source file, with the
+    /// registry the examples assume. Goes through [`scan_file`] so valid
+    /// suppressions apply — a "good" example may be an audited allow.
+    fn scan_example(src: &str) -> Vec<RuleId> {
+        let cfg = Config::parse("[rules.DL008]\nregistered = [\"NS_REPLICAS\"]\n").unwrap();
+        scan_file("src/example.rs", src, &cfg)
+            .findings
+            .into_iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn every_rule_has_a_bad_and_good_example() {
+        for rule in RuleId::ALL {
+            let ex = explain(rule);
+            assert!(ex.bad.is_some(), "{} lacks a bad example", rule.as_str());
+            assert!(ex.good.is_some(), "{} lacks a good example", rule.as_str());
+            assert!(!ex.rationale.trim().is_empty());
+        }
+    }
+
+    #[test]
+    fn bad_examples_fire_their_rule() {
+        for rule in RuleId::ALL {
+            // DL009 is an audit over suppressions, not a scan rule; its
+            // example is exercised by the dl009 fixture test instead.
+            if rule == RuleId::Dl009 {
+                continue;
+            }
+            let bad = explain(rule).bad.unwrap();
+            let fired = scan_example(&bad);
+            assert!(
+                fired.contains(&rule),
+                "{} bad example does not fire it: {:?}\n{}",
+                rule.as_str(),
+                fired,
+                bad
+            );
+        }
+    }
+
+    #[test]
+    fn good_examples_stay_quiet() {
+        for rule in RuleId::ALL {
+            if rule == RuleId::Dl009 {
+                continue;
+            }
+            let good = explain(rule).good.unwrap();
+            let fired = scan_example(&good);
+            assert!(
+                !fired.contains(&rule),
+                "{} good example fires it\n{}",
+                rule.as_str(),
+                good
+            );
+        }
+    }
+
+    #[test]
+    fn render_mentions_taxonomy_and_both_examples() {
+        let text = render(RuleId::Dl006);
+        assert!(text.contains("DL006"));
+        assert!(text.contains("[IMPL]"));
+        assert!(text.contains("Hazard (fires):"));
+        assert!(text.contains("Sanctioned pattern (quiet):"));
+        assert!(!text.contains("// fires:"), "test markup leaked:\n{text}");
+    }
+}

@@ -25,8 +25,11 @@ pub enum TokKind {
     Punct(char),
     /// Numeric literal (raw text kept for float detection).
     Num(String),
-    /// String or byte-string literal (contents dropped).
-    Str,
+    /// String or byte-string literal. Contents are kept (escapes
+    /// unresolved) so rules can inspect e.g. `std::env::var("NAME")`
+    /// arguments; rules must never pattern-match hazard identifiers
+    /// against them.
+    Str(String),
     /// Char or byte literal.
     Char,
     /// Lifetime (`'a`, `'static`).
@@ -50,6 +53,14 @@ impl Tok {
     /// `true` if this token is the given identifier.
     pub fn is_ident(&self, s: &str) -> bool {
         self.ident() == Some(s)
+    }
+
+    /// The string-literal contents, if this token is a string literal.
+    pub fn str_text(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Str(s) => Some(s),
+            _ => None,
+        }
     }
 }
 
@@ -163,25 +174,31 @@ impl<'a> Lexer<'a> {
         });
     }
 
-    /// Consumes a quoted string body after the opening `"`.
-    fn lex_string_body(&mut self) {
+    /// Consumes a quoted string body after the opening `"`, returning the
+    /// raw contents (escape sequences left as written, minus backslashes).
+    fn lex_string_body(&mut self) -> String {
+        let mut text = String::new();
         while let Some(c) = self.bump() {
             match c {
-                '"' => return,
+                '"' => return text,
                 '\\' => {
-                    self.bump();
+                    if let Some(escaped) = self.bump() {
+                        text.push(escaped);
+                    }
                 }
-                _ => {}
+                _ => text.push(c),
             }
         }
+        text
     }
 
     /// Consumes a raw string after `r`/`br`; `hashes` is the number of `#`s.
-    fn lex_raw_string_body(&mut self, hashes: usize) {
+    fn lex_raw_string_body(&mut self, hashes: usize) -> String {
         // Opening quote already consumed by caller.
+        let mut text = String::new();
         loop {
             match self.bump() {
-                None => return,
+                None => return text,
                 Some('"') => {
                     let mut seen = 0;
                     while seen < hashes && self.peek(0) == Some('#') {
@@ -189,10 +206,14 @@ impl<'a> Lexer<'a> {
                         seen += 1;
                     }
                     if seen == hashes {
-                        return;
+                        return text;
+                    }
+                    text.push('"');
+                    for _ in 0..seen {
+                        text.push('#');
                     }
                 }
-                Some(_) => {}
+                Some(c) => text.push(c),
             }
         }
     }
@@ -220,8 +241,8 @@ impl<'a> Lexer<'a> {
         if c0 == Some('b') && self.peek(1) == Some('"') {
             self.bump();
             self.bump();
-            self.lex_string_body();
-            self.push(line, TokKind::Str);
+            let text = self.lex_string_body();
+            self.push(line, TokKind::Str(text));
             return true;
         }
         // r"..." / r#"..."# / br#"..."#
@@ -243,8 +264,8 @@ impl<'a> Lexer<'a> {
         for _ in 0..(skip + hashes + 1) {
             self.bump();
         }
-        self.lex_raw_string_body(hashes);
-        self.push(line, TokKind::Str);
+        let text = self.lex_raw_string_body(hashes);
+        self.push(line, TokKind::Str(text));
         true
     }
 
@@ -295,8 +316,8 @@ impl<'a> Lexer<'a> {
             } else if c == '"' {
                 let line = self.line;
                 self.bump();
-                self.lex_string_body();
-                self.push(line, TokKind::Str);
+                let text = self.lex_string_body();
+                self.push(line, TokKind::Str(text));
             } else if c == '\'' {
                 let line = self.line;
                 // Lifetime vs char literal.
@@ -460,7 +481,7 @@ let y = r#"raw "quoted" SystemTime"#;
             lexed
                 .tokens
                 .iter()
-                .filter(|t| t.kind == TokKind::Str)
+                .filter(|t| matches!(t.kind, TokKind::Str(_)))
                 .count(),
             2
         );

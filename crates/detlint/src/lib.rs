@@ -17,6 +17,14 @@
 //! | DL003 | REPORTING | Wall-clock reads (`Instant::now`, `SystemTime::now`) in result-producing paths |
 //! | DL004 | IMPL      | Float `sum`/`product`/additive `fold` where evaluation order changes the bit pattern |
 //! | DL005 | IMPL      | Unordered parallel combinators combined with non-associative float ops |
+//! | DL006 | IMPL      | Unordered-tainted value reaching a float accumulation sink (cross-statement dataflow) |
+//! | DL007 | ALGO      | Sequential RNG value crossing a thread/process boundary without index re-derivation |
+//! | DL008 | REPORTING | `std::env::var` feeding a numeric path without registration in `Settings` |
+//! | DL009 | REPORTING | Stale `detlint::allow` whose rule no longer fires on the covered line (`--audit`) |
+//!
+//! DL001–DL005 are single-statement token-pattern rules; DL006–DL008 run
+//! on an intra-procedural taint engine (see [`dataflow`]) over the
+//! structural parse (see [`parser`]); DL009 is a suppression audit.
 //!
 //! The taxonomy follows the source paper's decomposition of run-to-run
 //! noise: ALGO (algorithmic randomness — which random numbers are drawn),
@@ -36,17 +44,23 @@
 //! an unknown rule, is itself a gate-failing problem. Unused allows are
 //! reported as warnings so stale annotations get cleaned up.
 
+pub mod baseline;
+pub mod cache;
 pub mod config;
+pub mod dataflow;
+pub mod explain;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;
+pub mod sarif;
 pub mod suppress;
 
 use std::path::{Path, PathBuf};
 
 pub use config::Config;
 
-/// The five determinism rules.
+/// The nine determinism rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum RuleId {
     /// Hash-container iteration feeding an order-sensitive sink.
@@ -59,6 +73,14 @@ pub enum RuleId {
     Dl004,
     /// Unordered parallel combinators with non-associative float ops.
     Dl005,
+    /// Unordered-tainted value reaching a float accumulation sink.
+    Dl006,
+    /// Sequential RNG value crossing a thread/process boundary.
+    Dl007,
+    /// Unregistered env var influencing a numeric path.
+    Dl008,
+    /// Stale suppression: an allow whose rule no longer fires.
+    Dl009,
 }
 
 /// Where a hazard injects noise, following the paper's decomposition.
@@ -85,12 +107,29 @@ impl Taxonomy {
 
 impl RuleId {
     /// Every rule, in ID order.
-    pub const ALL: [RuleId; 5] = [
+    pub const ALL: [RuleId; 9] = [
         RuleId::Dl001,
         RuleId::Dl002,
         RuleId::Dl003,
         RuleId::Dl004,
         RuleId::Dl005,
+        RuleId::Dl006,
+        RuleId::Dl007,
+        RuleId::Dl008,
+        RuleId::Dl009,
+    ];
+
+    /// The rules a `detlint::allow` may name. DL009 polices suppressions
+    /// themselves, so it cannot be suppressed.
+    pub const SUPPRESSIBLE: [RuleId; 8] = [
+        RuleId::Dl001,
+        RuleId::Dl002,
+        RuleId::Dl003,
+        RuleId::Dl004,
+        RuleId::Dl005,
+        RuleId::Dl006,
+        RuleId::Dl007,
+        RuleId::Dl008,
     ];
 
     /// Canonical `DLxxx` name.
@@ -101,6 +140,10 @@ impl RuleId {
             RuleId::Dl003 => "DL003",
             RuleId::Dl004 => "DL004",
             RuleId::Dl005 => "DL005",
+            RuleId::Dl006 => "DL006",
+            RuleId::Dl007 => "DL007",
+            RuleId::Dl008 => "DL008",
+            RuleId::Dl009 => "DL009",
         }
     }
 
@@ -112,9 +155,9 @@ impl RuleId {
     /// Which noise source the rule polices.
     pub fn taxonomy(self) -> Taxonomy {
         match self {
-            RuleId::Dl001 | RuleId::Dl003 => Taxonomy::Reporting,
-            RuleId::Dl002 => Taxonomy::Algo,
-            RuleId::Dl004 | RuleId::Dl005 => Taxonomy::Impl,
+            RuleId::Dl001 | RuleId::Dl003 | RuleId::Dl008 | RuleId::Dl009 => Taxonomy::Reporting,
+            RuleId::Dl002 | RuleId::Dl007 => Taxonomy::Algo,
+            RuleId::Dl004 | RuleId::Dl005 | RuleId::Dl006 => Taxonomy::Impl,
         }
     }
 
@@ -126,6 +169,10 @@ impl RuleId {
             RuleId::Dl003 => "wall-clock read in a result-producing path",
             RuleId::Dl004 => "order-sensitive float reduction",
             RuleId::Dl005 => "unordered parallel float reduction",
+            RuleId::Dl006 => "unordered-tainted value reaching a float accumulation",
+            RuleId::Dl007 => "sequential RNG value crossing a thread/process boundary",
+            RuleId::Dl008 => "unregistered env var influencing a numeric path",
+            RuleId::Dl009 => "stale detlint::allow matching no finding",
         }
     }
 }
@@ -161,6 +208,9 @@ pub struct ScanReport {
     pub findings: Vec<Finding>,
     /// Findings silenced by a valid `detlint::allow`, with the reason.
     pub suppressed: Vec<(Finding, String)>,
+    /// Known findings matched by a `--baseline` file: reported as
+    /// warnings, not gate failures.
+    pub grandfathered: Vec<Finding>,
     /// Malformed suppressions (missing reason, unknown rule).
     pub problems: Vec<Problem>,
     /// Valid suppressions that matched nothing: `(file, line, rule)`.
@@ -170,17 +220,24 @@ pub struct ScanReport {
 }
 
 impl ScanReport {
-    /// `true` when the gate passes: no findings and no problems.
+    /// `true` when the gate passes: no findings and no problems
+    /// (grandfathered findings and unused allows only warn).
     pub fn clean(&self) -> bool {
         self.findings.is_empty() && self.problems.is_empty()
     }
 
-    fn merge(&mut self, other: ScanReport) {
+    pub(crate) fn merge_file(&mut self, other: ScanReport) {
         self.findings.extend(other.findings);
         self.suppressed.extend(other.suppressed);
+        self.grandfathered.extend(other.grandfathered);
         self.problems.extend(other.problems);
         self.unused_allows.extend(other.unused_allows);
         self.files_scanned += other.files_scanned;
+    }
+
+    pub(crate) fn sort(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     }
 }
 
@@ -188,7 +245,8 @@ impl ScanReport {
 /// test-path handling, so fixture tests can exercise rules directly.
 pub fn scan_file(rel_path: &str, source: &str, config: &Config) -> ScanReport {
     let lexed = lexer::lex(source);
-    let findings = rules::run_rules(rel_path, &lexed, config);
+    let parsed = parser::parse(&lexed.tokens);
+    let findings = rules::run_rules(rel_path, &lexed, &parsed, config);
     let suppressions = suppress::parse_suppressions(&lexed.comments, &lexed.tokens);
 
     let mut report = ScanReport {
@@ -203,8 +261,16 @@ pub fn scan_file(rel_path: &str, source: &str, config: &Config) -> ScanReport {
                 line: s.line,
                 message: format!(
                     "detlint::allow names unknown rule `{raw}` \
-                     (expected DL001..DL005)"
+                     (expected DL001..DL008; DL009 polices allows and \
+                     cannot be suppressed)"
                 ),
+            }),
+            (Ok(RuleId::Dl009), _) => report.problems.push(Problem {
+                file: rel_path.to_string(),
+                line: s.line,
+                message: "detlint::allow(DL009) is not allowed: DL009 audits \
+                          suppressions and cannot itself be suppressed"
+                    .to_string(),
             }),
             (Ok(rule), None) => report.problems.push(Problem {
                 file: rel_path.to_string(),
@@ -220,10 +286,15 @@ pub fn scan_file(rel_path: &str, source: &str, config: &Config) -> ScanReport {
         }
     }
     for f in findings {
-        let hit = suppressions
-            .iter()
-            .enumerate()
-            .find(|(_, s)| s.covers == f.line && s.rule == Ok(f.rule) && s.reason.is_some());
+        // A finding on a continuation line of a multi-line statement is
+        // covered by a suppression on the statement's *first* line — the
+        // only line a human can reasonably annotate.
+        let stmt_first = parsed.stmt_first_line(f.line).unwrap_or(f.line);
+        let hit = suppressions.iter().enumerate().find(|(_, s)| {
+            (s.covers == f.line || s.covers == stmt_first)
+                && s.rule == Ok(f.rule)
+                && s.reason.is_some()
+        });
         match hit {
             Some((idx, s)) => {
                 used[idx] = true;
@@ -234,11 +305,41 @@ pub fn scan_file(rel_path: &str, source: &str, config: &Config) -> ScanReport {
             None => report.findings.push(f),
         }
     }
+    // In `--audit` mode a stale allow in shipping code is a finding
+    // (DL009); in normal mode it stays a warning. Test code keeps the
+    // warning either way — its rules don't run, so every allow there
+    // would look stale.
+    let audit_here = config.audit
+        && !config.rule_exempt(RuleId::Dl009, rel_path)
+        && (config.scan_test_code || !Config::is_test_path(rel_path));
+    let test_regions = if audit_here && !config.scan_test_code {
+        lexer::test_regions(&lexed.tokens)
+    } else {
+        Vec::new()
+    };
     for (s, used) in suppressions.iter().zip(used) {
         if let (Ok(rule), Some(_), false) = (&s.rule, &s.reason, used) {
-            report
-                .unused_allows
-                .push((rel_path.to_string(), s.line, *rule));
+            if *rule == RuleId::Dl009 {
+                continue; // already a problem above
+            }
+            let in_test = test_regions.iter().any(|&(a, b)| (a..=b).contains(&s.line));
+            if audit_here && !in_test {
+                report.findings.push(Finding {
+                    rule: RuleId::Dl009,
+                    file: rel_path.to_string(),
+                    line: s.line,
+                    message: format!(
+                        "stale allow: detlint::allow({}) matches no {} finding \
+                         on the line it covers; delete it or re-justify it",
+                        rule.as_str(),
+                        rule.as_str()
+                    ),
+                });
+            } else {
+                report
+                    .unused_allows
+                    .push((rel_path.to_string(), s.line, *rule));
+            }
         }
     }
     report
@@ -248,18 +349,21 @@ pub fn scan_file(rel_path: &str, source: &str, config: &Config) -> ScanReport {
 /// Files are visited in sorted order so output is deterministic — detlint
 /// holds itself to the standard it enforces.
 pub fn scan_workspace(root: &Path, config: &Config) -> std::io::Result<ScanReport> {
+    let mut report = ScanReport::default();
+    for rel in &workspace_files(root, config)? {
+        let source = std::fs::read_to_string(root.join(rel))?;
+        report.merge_file(scan_file(rel, &source, config));
+    }
+    report.sort();
+    Ok(report)
+}
+
+/// The sorted list of workspace-relative `.rs` paths a scan covers.
+pub(crate) fn workspace_files(root: &Path, config: &Config) -> std::io::Result<Vec<String>> {
     let mut files = Vec::new();
     collect_rs_files(root, root, config, &mut files)?;
     files.sort();
-    let mut report = ScanReport::default();
-    for rel in &files {
-        let source = std::fs::read_to_string(root.join(rel))?;
-        report.merge(scan_file(rel, &source, config));
-    }
-    report
-        .findings
-        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    Ok(report)
+    Ok(files)
 }
 
 fn collect_rs_files(

@@ -1,35 +1,82 @@
 //! The `detlint` binary: scans the workspace and reports hazards.
 //!
 //! ```text
-//! detlint [--json] [--root <dir>] [--config <file>] [--list-rules]
+//! detlint [--json | --sarif] [--root <dir>] [--config <file>]
+//!         [--baseline <file>] [--write-baseline <file>] [--audit]
+//!         [--cache <file>] [--no-cache] [--explain DLxxx] [--list-rules]
 //! ```
 //!
 //! Exit codes: `0` clean, `1` findings or malformed suppressions,
 //! `2` usage / IO / config error.
+//!
+//! Incremental analysis is on by default: per-file results are cached in
+//! `target/detlint-cache.json` keyed by content hash and config
+//! fingerprint, so a rerun with no edits re-analyzes nothing. Cache
+//! statistics go to stderr — stdout is bit-identical cold or warm.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use detlint::{config::Config, find_workspace_root, report, RuleId};
+use detlint::baseline::Baseline;
+use detlint::cache::scan_workspace_cached;
+use detlint::{config::Config, explain, find_workspace_root, report, sarif, RuleId};
+
+const USAGE: &str = "detlint — determinism static analysis
+
+USAGE: detlint [OPTIONS]
+
+  --json                  machine-readable JSON report on stdout
+  --sarif                 SARIF 2.1.0 report on stdout (for CI upload)
+  --root <dir>            workspace root (default: nearest detlint.toml)
+  --config <file>         config file (default: <root>/detlint.toml)
+  --baseline <file>       grandfather findings recorded in <file>; only
+                          new findings fail the gate
+  --write-baseline <file> record current findings as the baseline, exit 0
+  --audit                 stale allows become DL009 findings
+  --cache <file>          incremental cache location
+                          (default: <root>/target/detlint-cache.json)
+  --no-cache              re-analyze every file
+  --explain <rule>        print rationale and examples for DL001..DL009
+  --list-rules            print the rule table
+
+Scans every .rs file under the workspace root for determinism hazards
+(DL001..DL009) and exits nonzero if any unsuppressed finding remains.";
 
 struct Args {
     json: bool,
+    sarif: bool,
     root: Option<PathBuf>,
     config: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+    audit: bool,
+    cache: Option<PathBuf>,
+    no_cache: bool,
+    explain: Option<String>,
     list_rules: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         json: false,
+        sarif: false,
         root: None,
         config: None,
+        baseline: None,
+        write_baseline: None,
+        audit: false,
+        cache: None,
+        no_cache: false,
+        explain: None,
         list_rules: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => args.json = true,
+            "--sarif" => args.sarif = true,
+            "--audit" => args.audit = true,
+            "--no-cache" => args.no_cache = true,
             "--list-rules" => args.list_rules = true,
             "--root" => {
                 args.root = Some(it.next().ok_or("--root requires a directory")?.into());
@@ -37,19 +84,28 @@ fn parse_args() -> Result<Args, String> {
             "--config" => {
                 args.config = Some(it.next().ok_or("--config requires a file")?.into());
             }
+            "--baseline" => {
+                args.baseline = Some(it.next().ok_or("--baseline requires a file")?.into());
+            }
+            "--write-baseline" => {
+                args.write_baseline =
+                    Some(it.next().ok_or("--write-baseline requires a file")?.into());
+            }
+            "--cache" => {
+                args.cache = Some(it.next().ok_or("--cache requires a file")?.into());
+            }
+            "--explain" => {
+                args.explain = Some(it.next().ok_or("--explain requires a rule id")?);
+            }
             "--help" | "-h" => {
-                println!(
-                    "detlint — determinism static analysis\n\n\
-                     USAGE: detlint [--json] [--root <dir>] [--config <file>] \
-                     [--list-rules]\n\n\
-                     Scans every .rs file under the workspace root for \
-                     determinism hazards\n(DL001..DL005) and exits nonzero if \
-                     any unsuppressed finding remains."
-                );
+                println!("{USAGE}");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
+    }
+    if args.json && args.sarif {
+        return Err("--json and --sarif are mutually exclusive".into());
     }
     Ok(args)
 }
@@ -67,6 +123,12 @@ fn run() -> Result<bool, String> {
         }
         return Ok(true);
     }
+    if let Some(name) = &args.explain {
+        let rule = RuleId::parse(name)
+            .ok_or_else(|| format!("unknown rule `{name}` (expected DL001..DL009)"))?;
+        print!("{}", explain::render(rule));
+        return Ok(true);
+    }
     let root = match args.root {
         Some(r) => r,
         None => {
@@ -76,10 +138,50 @@ fn run() -> Result<bool, String> {
         }
     };
     let config_path = args.config.unwrap_or_else(|| root.join("detlint.toml"));
-    let config = Config::load(&config_path)?;
-    let report_data =
-        detlint::scan_workspace(&root, &config).map_err(|e| format!("scan failed: {e}"))?;
-    if args.json {
+    let mut config = Config::load(&config_path)?;
+    config.audit = args.audit;
+
+    let cache_path = if args.no_cache {
+        None
+    } else {
+        Some(
+            args.cache
+                .unwrap_or_else(|| root.join("target/detlint-cache.json")),
+        )
+    };
+    let (mut report_data, stats) = scan_workspace_cached(&root, &config, cache_path.as_deref())
+        .map_err(|e| format!("scan failed: {e}"))?;
+    if cache_path.is_some() {
+        eprintln!(
+            "detlint: cache: {} hit(s), {} miss(es) of {} file(s)",
+            stats.hits,
+            stats.misses,
+            stats.total()
+        );
+    }
+
+    if let Some(path) = &args.write_baseline {
+        let base = Baseline::capture(&report_data, &root)
+            .map_err(|e| format!("baseline capture failed: {e}"))?;
+        base.save(path)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        eprintln!(
+            "detlint: wrote {} entry(ies) to {}",
+            base.entries.len(),
+            path.display()
+        );
+        return Ok(true);
+    }
+    if let Some(path) = &args.baseline {
+        let base = Baseline::load(path)?;
+        base.apply(&mut report_data, &root);
+    }
+
+    if args.sarif {
+        let doc = serde_json::to_string_pretty(&sarif::sarif(&report_data))
+            .map_err(|e| format!("SARIF encoding failed: {e}"))?;
+        println!("{doc}");
+    } else if args.json {
         let doc = serde_json::to_string_pretty(&report::json(&report_data))
             .map_err(|e| format!("JSON encoding failed: {e}"))?;
         println!("{doc}");

@@ -1,4 +1,7 @@
-//! The determinism rules (DL001–DL005).
+//! The token-pattern determinism rules (DL001–DL005).
+//!
+//! The cross-statement dataflow rules (DL006–DL008) live in
+//! `crate::dataflow`; this module is the single-statement layer.
 //!
 //! Each rule is a token-pattern heuristic over one lexed file. The engine
 //! works on "statements" — token runs delimited by `;`, `{`, `}` — plus the
@@ -15,7 +18,7 @@ use crate::lexer::{test_regions, LexedFile, Tok, TokKind};
 use crate::{Finding, RuleId};
 
 /// Iteration methods whose order is arbitrary on hash containers.
-const ITER_METHODS: &[&str] = &[
+pub(crate) const ITER_METHODS: &[&str] = &[
     "iter",
     "iter_mut",
     "into_iter",
@@ -56,7 +59,7 @@ const SINKS: &[&str] = &[
 ];
 
 /// Unordered parallel combinators (rayon-style).
-const PAR_COMBINATORS: &[&str] = &[
+pub(crate) const PAR_COMBINATORS: &[&str] = &[
     "par_iter",
     "par_iter_mut",
     "into_par_iter",
@@ -66,8 +69,13 @@ const PAR_COMBINATORS: &[&str] = &[
     "par_windows",
 ];
 
-/// Entry point: runs every enabled rule over one lexed file.
-pub fn run_rules(rel_path: &str, lexed: &LexedFile, config: &Config) -> Vec<Finding> {
+/// Entry point: runs every enabled rule over one lexed + parsed file.
+pub fn run_rules(
+    rel_path: &str,
+    lexed: &LexedFile,
+    parsed: &crate::parser::ParsedFile,
+    config: &Config,
+) -> Vec<Finding> {
     let tokens = &lexed.tokens;
     let skip_tests = !config.scan_test_code;
     if skip_tests && Config::is_test_path(rel_path) {
@@ -101,6 +109,7 @@ pub fn run_rules(rel_path: &str, lexed: &LexedFile, config: &Config) -> Vec<Find
     if enabled(RuleId::Dl005) {
         dl005_parallel_float(&ctx, &mut findings);
     }
+    crate::dataflow::run_dataflow_rules(&ctx, parsed, config, &mut findings);
     // One finding per (rule, line): a chain like `.keys().map(..).sum()` can
     // trip a rule through several tokens on the same line.
     findings.sort_by_key(|f| (f.line, f.rule));
@@ -108,25 +117,31 @@ pub fn run_rules(rel_path: &str, lexed: &LexedFile, config: &Config) -> Vec<Find
     findings
 }
 
-struct Ctx<'a> {
-    rel_path: &'a str,
-    tokens: &'a [Tok],
+pub(crate) struct Ctx<'a> {
+    pub(crate) rel_path: &'a str,
+    pub(crate) tokens: &'a [Tok],
     /// Per-token index of the innermost enclosing `fn` signature range.
-    fn_sigs: Vec<Option<(usize, usize)>>,
-    test_regions: Vec<(u32, u32)>,
+    pub(crate) fn_sigs: Vec<Option<(usize, usize)>>,
+    pub(crate) test_regions: Vec<(u32, u32)>,
     /// Local bindings initialized with float evidence; their names carry
     /// that evidence into later statements.
-    float_vars: std::collections::BTreeSet<String>,
+    pub(crate) float_vars: std::collections::BTreeSet<String>,
 }
 
 impl Ctx<'_> {
-    fn in_test_region(&self, line: u32) -> bool {
+    pub(crate) fn in_test_region(&self, line: u32) -> bool {
         self.test_regions
             .iter()
             .any(|&(s, e)| (s..=e).contains(&line))
     }
 
-    fn emit(&self, findings: &mut Vec<Finding>, rule: RuleId, i: usize, message: String) {
+    pub(crate) fn emit(
+        &self,
+        findings: &mut Vec<Finding>,
+        rule: RuleId,
+        i: usize,
+        message: String,
+    ) {
         let line = self.tokens[i].line;
         if self.in_test_region(line) {
             return;
@@ -141,7 +156,7 @@ impl Ctx<'_> {
 
     /// Token range of the statement containing index `i` (inclusive),
     /// delimited by `;`, `{`, `}` on either side.
-    fn stmt_range(&self, i: usize) -> (usize, usize) {
+    pub(crate) fn stmt_range(&self, i: usize) -> (usize, usize) {
         let boundary = |t: &Tok| t.is_punct(';') || t.is_punct('{') || t.is_punct('}');
         let mut s = i;
         while s > 0 && !boundary(&self.tokens[s - 1]) {
@@ -154,7 +169,7 @@ impl Ctx<'_> {
         (s, e)
     }
 
-    fn stmt_has_ident(&self, range: (usize, usize), names: &[&str]) -> bool {
+    pub(crate) fn stmt_has_ident(&self, range: (usize, usize), names: &[&str]) -> bool {
         self.tokens[range.0..=range.1]
             .iter()
             .any(|t| t.ident().is_some_and(|s| names.contains(&s)))
@@ -163,7 +178,7 @@ impl Ctx<'_> {
     /// Float evidence in a statement or its enclosing `fn` signature: an
     /// `f32`/`f64` mention, a float literal, or a binding already known to
     /// hold floats.
-    fn float_evidence(&self, range: (usize, usize), i: usize) -> bool {
+    pub(crate) fn float_evidence(&self, range: (usize, usize), i: usize) -> bool {
         let check = |s: usize, e: usize| {
             self.tokens[s..=e].iter().any(|t| match &t.kind {
                 TokKind::Ident(id) => id == "f32" || id == "f64" || self.float_vars.contains(id),
@@ -175,7 +190,7 @@ impl Ctx<'_> {
     }
 }
 
-fn is_float_literal(n: &str) -> bool {
+pub(crate) fn is_float_literal(n: &str) -> bool {
     if n.starts_with("0x") || n.starts_with("0b") || n.starts_with("0o") {
         return false;
     }
@@ -190,7 +205,7 @@ fn is_float_literal(n: &str) -> bool {
 /// binding). `let mut lane = [0f32; 64];` makes a later bare
 /// `lane.iter().sum()` recognizable as a float reduction even when neither
 /// that statement nor the enclosing signature names a float type.
-fn tracked_float_vars(tokens: &[Tok]) -> std::collections::BTreeSet<String> {
+pub(crate) fn tracked_float_vars(tokens: &[Tok]) -> std::collections::BTreeSet<String> {
     let mut tracked = std::collections::BTreeSet::new();
     let boundary = |t: &Tok| t.is_punct(';') || t.is_punct('{') || t.is_punct('}');
     let mut i = 0;
@@ -261,7 +276,7 @@ fn fn_signatures(tokens: &[Tok]) -> Vec<Option<(usize, usize)>> {
 }
 
 /// Index of the `)` matching the `(` at `open` (or end of tokens).
-fn matching_paren(tokens: &[Tok], open: usize) -> usize {
+pub(crate) fn matching_paren(tokens: &[Tok], open: usize) -> usize {
     let mut depth = 0i32;
     for (j, t) in tokens.iter().enumerate().skip(open) {
         if t.is_punct('(') {
@@ -277,7 +292,7 @@ fn matching_paren(tokens: &[Tok], open: usize) -> usize {
 }
 
 /// Index of the `}` matching the `{` at `open` (or end of tokens).
-fn matching_brace(tokens: &[Tok], open: usize) -> usize {
+pub(crate) fn matching_brace(tokens: &[Tok], open: usize) -> usize {
     let mut depth = 0i32;
     for (j, t) in tokens.iter().enumerate().skip(open) {
         if t.is_punct('{') {
@@ -298,7 +313,7 @@ fn matching_brace(tokens: &[Tok], open: usize) -> usize {
 
 /// Finds variables bound with a `HashMap`/`HashSet` type annotation or
 /// constructor, mapped to the container type name for diagnostics.
-fn tracked_hash_vars(tokens: &[Tok]) -> BTreeMap<String, &'static str> {
+pub(crate) fn tracked_hash_vars(tokens: &[Tok]) -> BTreeMap<String, &'static str> {
     let mut tracked = BTreeMap::new();
     for (i, t) in tokens.iter().enumerate() {
         let container = match t.ident() {
@@ -345,7 +360,7 @@ fn tracked_hash_vars(tokens: &[Tok]) -> BTreeMap<String, &'static str> {
 /// signature. Tracked *names* in the signature are deliberately ignored —
 /// a parameter name reused across functions in the same file would
 /// otherwise leak one function's float-ness into another's counter loop.
-fn float_compound_assign(ctx: &Ctx, s: usize, e: usize, i: usize) -> bool {
+pub(crate) fn float_compound_assign(ctx: &Ctx, s: usize, e: usize, i: usize) -> bool {
     let has_op = ctx.tokens[s..=e]
         .windows(2)
         .any(|w| matches!(w[0].kind, TokKind::Punct('+' | '-' | '*' | '/')) && w[1].is_punct('='));
@@ -551,7 +566,7 @@ fn dl004_float_reduction(ctx: &Ctx, findings: &mut Vec<Finding>) {
 
 /// `true` if the method call whose name ends at `j - 1` has an empty
 /// argument list, allowing for a turbofish (`sum()` / `sum::<f64>()`).
-fn is_nullary_call(tokens: &[Tok], mut j: usize) -> bool {
+pub(crate) fn is_nullary_call(tokens: &[Tok], mut j: usize) -> bool {
     if tokens.get(j).is_some_and(|t| t.is_punct(':')) {
         // Skip `::< ... >`.
         while j < tokens.len() && !tokens[j].is_punct('<') {
@@ -581,7 +596,7 @@ fn is_nullary_call(tokens: &[Tok], mut j: usize) -> bool {
 /// A `fold` is only a hazard when its closure combines with `+`/`*`
 /// (non-associative in floats). Min/max/comparison folds are
 /// order-insensitive and deliberately not flagged.
-fn fold_is_order_sensitive(tokens: &[Tok], fold_idx: usize) -> bool {
+pub(crate) fn fold_is_order_sensitive(tokens: &[Tok], fold_idx: usize) -> bool {
     let mut open = fold_idx + 1;
     while open < tokens.len() && !tokens[open].is_punct('(') {
         if tokens[open].is_punct(';') || tokens[open].is_punct('{') {
@@ -640,7 +655,9 @@ mod tests {
     use crate::lexer::lex;
 
     fn scan(src: &str) -> Vec<Finding> {
-        run_rules("src/sample.rs", &lex(src), &Config::default())
+        let lexed = lex(src);
+        let parsed = crate::parser::parse(&lexed.tokens);
+        run_rules("src/sample.rs", &lexed, &parsed, &Config::default())
     }
 
     #[test]

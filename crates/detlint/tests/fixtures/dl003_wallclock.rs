@@ -2,11 +2,13 @@
 
 use std::time::{Instant, SystemTime};
 
+// <explain:DL003:bad>
 pub fn timed_loss(xs: &[f32]) -> (f32, f64) {
     let t0 = Instant::now(); // fires: Instant::now
     let loss = xs[0];
     (loss, t0.elapsed().as_secs_f64())
 }
+// </explain:DL003:bad>
 
 pub fn stamped_report() -> u64 {
     let stamp = SystemTime::now(); // fires: SystemTime::now

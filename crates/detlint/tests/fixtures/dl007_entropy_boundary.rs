@@ -1,0 +1,52 @@
+//! DL007 fixture: a sequential RNG draw crossing a thread or process
+//! boundary. The draw's value depends on the RNG cursor at call time, so
+//! capturing it into a spawned closure or an IPC frame bakes scheduling
+//! history into the computation. The sanctioned pattern re-derives
+//! randomness from a replica index on the far side of the boundary.
+
+// <explain:DL007:bad>
+pub fn captured_draw(rng: &mut StreamRng, scope: &Scope<'_>) {
+    let jitter = rng.next_f64();
+    scope.spawn(move || simulate(jitter)); // fires: cursor-dependent draw crosses the spawn
+}
+// </explain:DL007:bad>
+
+pub fn encoded_draw(rng: &mut StreamRng) -> Vec<u8> {
+    let tag = rng.next_u32();
+    encode_frame(Tag::Result, tag) // fires: draw baked into an IPC frame
+}
+
+pub fn sampled_then_spawned(dist: &Normal, rng: &mut StreamRng, scope: &Scope<'_>) {
+    let noise = dist.sample(rng);
+    scope.spawn(move || perturb(noise)); // fires: sampled value crosses the spawn
+}
+
+// --- negative: index-derived entropy is position-independent ----------
+
+// <explain:DL007:good>
+pub fn derived_per_replica(settings: &Settings, scope: &Scope<'_>, idx: u64) {
+    let entropy = settings.entropy_for(idx);
+    scope.spawn(move || simulate(entropy));
+}
+// </explain:DL007:good>
+
+// --- negative: pre-planned draws in reference order -------------------
+
+pub fn planned_draws(red: &mut Reducer, scope: &Scope<'_>) {
+    let plan = red.plan_dots(64, 8);
+    scope.spawn(move || run_band(plan));
+}
+
+// --- negative: draw consumed locally, nothing crosses -----------------
+
+pub fn local_draw(rng: &mut StreamRng) -> f64 {
+    let x = rng.next_f64();
+    x * 2.0
+}
+
+// --- negative: snapshot codecs encode cursors deliberately ------------
+
+pub fn checkpointed(rng: &StreamRng, out: &mut Vec<u8>) {
+    let snap = rng.snapshot();
+    out.extend(encode_payload(&snap));
+}

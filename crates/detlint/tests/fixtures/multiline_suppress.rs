@@ -1,0 +1,20 @@
+//! Regression fixture: suppressions attach to the *statement*, not the
+//! physical line. A finding on a continuation line of a multi-line
+//! expression is covered by an allow on the statement's first line —
+//! v1 matched on the finding's own line only, so these stayed findings.
+
+pub fn multi_line_sum(vals: &[f64]) -> f64 {
+    // detlint::allow(DL004, reason = "fixed-size probe buffer, order is static")
+    let total: f64 = vals
+        .iter()
+        .map(|v| v * 2.0)
+        .sum();
+    total
+}
+
+pub fn trailing_on_first_line(vals: &[f32]) -> f32 {
+    let s: f32 = vals // detlint::allow(DL004, reason = "len fixed at 3 upstream")
+        .iter()
+        .sum();
+    s
+}

@@ -1,0 +1,116 @@
+//! Injection tests: the dataflow rules catch hazards planted in copies
+//! of real workspace modules.
+//!
+//! The workspace scans clean, so these tests are the proof the new rules
+//! have teeth on real code shapes (not just synthetic fixtures): take a
+//! shipping module verbatim, append a hazard of the kind the rule hunts,
+//! and assert the scan flags exactly the injected lines — with the same
+//! workspace config CI uses, loaded from `detlint.toml` itself.
+
+use detlint::{Config, RuleId};
+
+/// The real workspace config, so registry/exemptions match CI exactly.
+fn workspace_config() -> Config {
+    Config::parse(include_str!("../../../detlint.toml")).expect("detlint.toml parses")
+}
+
+fn lines_for(report: &detlint::ScanReport, rule: RuleId) -> Vec<u32> {
+    report
+        .findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.line)
+        .collect()
+}
+
+/// Scans `base`, asserts `rule` is quiet, then scans `base + injected`
+/// and returns the lines (relative to the injection point) where `rule`
+/// fired.
+fn inject(path: &str, base: &str, injected: &str, rule: RuleId) -> Vec<u32> {
+    let config = workspace_config();
+    let before = detlint::scan_file(path, base, &config);
+    assert!(
+        lines_for(&before, rule).is_empty(),
+        "{} already fires {} before injection: {:?}",
+        path,
+        rule.as_str(),
+        before.findings
+    );
+    let base_lines = base.lines().count() as u32;
+    let patched = format!("{base}\n{injected}");
+    let after = detlint::scan_file(path, &patched, &config);
+    lines_for(&after, rule)
+        .into_iter()
+        .map(|l| l - base_lines - 1)
+        .collect()
+}
+
+#[test]
+fn dl006_catches_unordered_sum_injected_into_runner() {
+    let fired = inject(
+        "crates/core/src/runner.rs",
+        include_str!("../../core/src/runner.rs"),
+        "fn injected_unordered_total(m: &std::collections::HashMap<u64, f64>) -> f64 {\n\
+         \x20   let leaked: Vec<f64> = m.values().copied().collect();\n\
+         \x20   let injected_total: f64 = leaked.iter().sum();\n\
+         \x20   injected_total\n\
+         }\n",
+        RuleId::Dl006,
+    );
+    // Line 3 of the injected block: the sum over the hash-ordered copy.
+    assert_eq!(fired, vec![3]);
+}
+
+#[test]
+fn dl007_catches_draw_crossing_spawn_injected_into_fleet() {
+    let fired = inject(
+        "crates/core/src/fleet.rs",
+        include_str!("../../core/src/fleet.rs"),
+        "fn injected_jitter(rng: &mut noisescope_rng::StreamRng, scope: &std::thread::Scope<'_, '_>) {\n\
+         \x20   let jitter = rng.next_u64();\n\
+         \x20   scope.spawn(move || std::hint::black_box(jitter));\n\
+         }\n",
+        RuleId::Dl007,
+    );
+    // Line 3 of the injected block: the spawn capturing the draw.
+    assert_eq!(fired, vec![3]);
+}
+
+#[test]
+fn dl008_catches_unregistered_knob_injected_into_settings() {
+    let fired = inject(
+        "crates/core/src/settings.rs",
+        include_str!("../../core/src/settings.rs"),
+        "fn injected_rogue_knob() -> f64 {\n\
+         \x20   let raw = std::env::var(\"NS_ROGUE_SCALE\").unwrap_or_default();\n\
+         \x20   raw.parse::<f64>().unwrap_or(1.0)\n\
+         }\n",
+        RuleId::Dl008,
+    );
+    // Line 3 of the injected block: the unregistered knob hitting parse.
+    assert_eq!(fired, vec![3]);
+}
+
+/// The registered knobs in settings.rs stay quiet under the workspace
+/// registry, and becoming unregistered would fire: delete one name from
+/// the registry and the scan must light up. Proves DL008's gate actually
+/// guards the real Settings parser.
+#[test]
+fn dl008_registry_is_load_bearing_for_settings() {
+    let src = include_str!("../../core/src/settings.rs");
+    let full = workspace_config();
+    let quiet = detlint::scan_file("crates/core/src/settings.rs", src, &full);
+    assert!(
+        lines_for(&quiet, RuleId::Dl008).is_empty(),
+        "registered knobs must not fire: {:?}",
+        quiet.findings
+    );
+
+    let mut pruned = full;
+    pruned.registered_env.retain(|n| n != "NS_REPLICAS");
+    let loud = detlint::scan_file("crates/core/src/settings.rs", src, &pruned);
+    assert!(
+        !lines_for(&loud, RuleId::Dl008).is_empty(),
+        "deleting NS_REPLICAS from the registry must fire DL008"
+    );
+}

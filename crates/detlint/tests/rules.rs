@@ -67,6 +67,71 @@ fn dl005_fires_on_every_marked_line() {
 }
 
 #[test]
+fn dl006_fires_on_every_marked_line() {
+    let src = include_str!("fixtures/dl006_taint_flow.rs");
+    let report = scan_fixture("fixtures/dl006_taint_flow.rs", src);
+    assert_eq!(lines_for(&report, RuleId::Dl006), marked_lines(src));
+    assert!(report.problems.is_empty());
+}
+
+#[test]
+fn dl007_fires_on_every_marked_line() {
+    let src = include_str!("fixtures/dl007_entropy_boundary.rs");
+    let report = scan_fixture("fixtures/dl007_entropy_boundary.rs", src);
+    assert_eq!(lines_for(&report, RuleId::Dl007), marked_lines(src));
+}
+
+#[test]
+fn dl008_fires_on_every_marked_line() {
+    // Scanned with the registry the workspace uses: NS_REPLICAS is a
+    // registered Settings knob, the fixture's other names are not.
+    let config = Config::parse("[rules.DL008]\nregistered = [\"NS_REPLICAS\"]\n").unwrap();
+    let src = include_str!("fixtures/dl008_env_knob.rs");
+    let report = detlint::scan_file("fixtures/dl008_env_knob.rs", src, &config);
+    assert_eq!(lines_for(&report, RuleId::Dl008), marked_lines(src));
+}
+
+#[test]
+fn dl009_fires_on_stale_allows_under_audit() {
+    let src = include_str!("fixtures/dl009_stale_allow.rs");
+    let audit = Config {
+        audit: true,
+        ..Config::default()
+    };
+    let report = detlint::scan_file("fixtures/dl009_stale_allow.rs", src, &audit);
+    assert_eq!(lines_for(&report, RuleId::Dl009), marked_lines(src));
+    // The load-bearing allow stays a suppression, not a finding.
+    assert_eq!(report.suppressed.len(), 1);
+    assert!(!report.clean());
+
+    // Without --audit the same allow is only a warning.
+    let report = scan_fixture("fixtures/dl009_stale_allow.rs", src);
+    assert!(lines_for(&report, RuleId::Dl009).is_empty());
+    assert_eq!(report.unused_allows.len(), 1);
+    assert!(report.clean());
+}
+
+/// Regression: a suppression on a statement's first line covers findings
+/// reported on continuation lines of the same multi-line expression.
+#[test]
+fn suppressions_cover_multiline_statements() {
+    let src = include_str!("fixtures/multiline_suppress.rs");
+    let report = scan_fixture("fixtures/multiline_suppress.rs", src);
+    assert!(
+        report.findings.is_empty(),
+        "continuation-line findings escaped their allows: {:?}",
+        report.findings
+    );
+    assert_eq!(report.suppressed.len(), 2);
+    assert!(
+        report.unused_allows.is_empty(),
+        "{:?}",
+        report.unused_allows
+    );
+    assert!(report.problems.is_empty());
+}
+
+#[test]
 fn every_rule_has_fixture_coverage() {
     // Guards against a rule existing with no fixture proving it fires.
     let all = [
@@ -75,12 +140,26 @@ fn every_rule_has_fixture_coverage() {
         include_str!("fixtures/dl003_wallclock.rs"),
         include_str!("fixtures/dl004_float_sum.rs"),
         include_str!("fixtures/dl005_parallel.rs"),
+        include_str!("fixtures/dl006_taint_flow.rs"),
+        include_str!("fixtures/dl007_entropy_boundary.rs"),
+        include_str!("fixtures/dl008_env_knob.rs"),
     ];
     let mut fired: Vec<RuleId> = Vec::new();
     for (i, src) in all.iter().enumerate() {
         let report = scan_fixture(&format!("fixtures/f{i}.rs"), src);
         fired.extend(report.findings.iter().map(|f| f.rule));
     }
+    // DL009 only exists under --audit.
+    let audit = Config {
+        audit: true,
+        ..Config::default()
+    };
+    let report = detlint::scan_file(
+        "fixtures/dl009_stale_allow.rs",
+        include_str!("fixtures/dl009_stale_allow.rs"),
+        &audit,
+    );
+    fired.extend(report.findings.iter().map(|f| f.rule));
     for rule in RuleId::ALL {
         assert!(
             fired.contains(&rule),
@@ -109,11 +188,12 @@ fn valid_suppressions_silence_every_hazard() {
         "unused: {:?}",
         report.unused_allows
     );
-    assert_eq!(report.suppressed.len(), 5);
-    // One suppression per rule, each with its reason preserved.
+    assert_eq!(report.suppressed.len(), RuleId::SUPPRESSIBLE.len());
+    // One suppression per suppressible rule (DL009 polices allows and
+    // cannot itself be suppressed), each with its reason preserved.
     let mut rules: Vec<RuleId> = report.suppressed.iter().map(|(f, _)| f.rule).collect();
     rules.sort();
-    assert_eq!(rules, RuleId::ALL);
+    assert_eq!(rules, RuleId::SUPPRESSIBLE);
     assert!(report
         .suppressed
         .iter()

@@ -14,6 +14,30 @@ run cargo build --workspace --release
 run cargo test -q --workspace
 run cargo clippy --workspace --all-targets -- -D warnings
 run cargo fmt --check
-run cargo run --release -p detlint
+
+# Determinism lint: gate on the committed baseline (only new findings
+# fail) and audit suppressions (a stale allow is a hard failure). The
+# fleet clock shim's DL003 allow is the one sanctioned suppression and
+# survives the audit because it is load-bearing.
+run cargo run --release -p detlint -- --audit --baseline detlint.baseline.json
+
+# Incremental-cache effectiveness: the run above warmed
+# target/detlint-cache.json, so a rerun must reuse >= 90% of per-file
+# results and print bit-identical output.
+echo "==> detlint cache effectiveness"
+cold_out=$(cargo run --release -q -p detlint -- --audit --baseline detlint.baseline.json 2>/dev/null)
+warm_stats=$(cargo run --release -q -p detlint -- --audit --baseline detlint.baseline.json 2>&1 >/dev/null)
+warm_out=$(cargo run --release -q -p detlint -- --audit --baseline detlint.baseline.json 2>/dev/null)
+if [ "$cold_out" != "$warm_out" ]; then
+    echo "detlint output differs between cache states" >&2
+    exit 1
+fi
+echo "$warm_stats"
+hits=$(echo "$warm_stats" | sed -n 's/.*cache: \([0-9]*\) hit(s).*/\1/p')
+total=$(echo "$warm_stats" | sed -n 's/.*of \([0-9]*\) file(s).*/\1/p')
+if [ -z "$hits" ] || [ -z "$total" ] || [ "$total" -eq 0 ] || [ $((hits * 10)) -lt $((total * 9)) ]; then
+    echo "detlint warm cache effectiveness ${hits:-?}/${total:-?} below 90%" >&2
+    exit 1
+fi
 
 echo "All checks passed."
